@@ -1,0 +1,120 @@
+// Command experiments regenerates the paper's evaluation: Figures 3-6, the
+// joint-branch-length, model-optimization, and protein text results, the
+// region-width microbenchmark, and the dataset grid inventory.
+//
+//	experiments -all -scale 0.04                 # the full suite, laptop scale
+//	experiments -fig 3 -scale 0.1 -rounds 2      # one figure, bigger datasets
+//	experiments -exp protein
+//	experiments -exp grid                        # dataset inventory (Sec. V, Test Datasets)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"phylo/internal/alignment"
+	"phylo/internal/bench"
+	"phylo/internal/seqsim"
+)
+
+func main() {
+	var (
+		fig    = flag.Int("fig", 0, "figure to regenerate: 3, 4, 5, or 6")
+		exp    = flag.String("exp", "", "text experiment: joint | modelopt | protein | width | grid")
+		all    = flag.Bool("all", false, "regenerate everything")
+		scale  = flag.Float64("scale", 0.04, "dataset column scale (1.0 = paper scale)")
+		rounds = flag.Int("rounds", 1, "SPR rounds per search run")
+		radius = flag.Int("radius", 3, "SPR rearrangement radius")
+		seed   = flag.Int64("seed", 42, "master seed")
+		out    = flag.String("out", "", "write output to file instead of stdout")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+	cfg := bench.FigureConfig{Scale: *scale, SearchRounds: *rounds, SearchRadius: *radius, Seed: *seed, Out: w}
+
+	var err error
+	switch {
+	case *all:
+		err = bench.RunAll(cfg)
+	case *fig == 3:
+		err = bench.Figure3(cfg)
+	case *fig == 4:
+		err = bench.Figure4(cfg)
+	case *fig == 5:
+		err = bench.Figure5(cfg)
+	case *fig == 6:
+		err = bench.Figure6(cfg)
+	case *exp == "joint":
+		err = bench.JointBLExperiment(cfg)
+	case *exp == "modelopt":
+		err = bench.ModelOptExperiment(cfg)
+	case *exp == "protein":
+		err = bench.ProteinExperiment(cfg)
+	case *exp == "width":
+		err = bench.WidthMicrobench(cfg)
+	case *exp == "grid":
+		err = gridInventory(cfg)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+// gridInventory regenerates the paper's "Test Datasets" table: the 12
+// simulated alignments and the partition schemes applicable to each.
+func gridInventory(cfg bench.FigureConfig) error {
+	fmt.Fprintln(cfg.Out, "=== Test datasets (Sec. V): simulated grid ===")
+	fmt.Fprintf(cfg.Out, "%-12s %6s %8s  %s\n", "dataset", "taxa", "columns", "partition schemes (columns at this scale)")
+	for _, taxa := range seqsim.GridTaxa {
+		for _, sites := range seqsim.GridSites {
+			row := fmt.Sprintf("%-12s %6d %8d ", fmt.Sprintf("d%d_%d", taxa, sites), taxa, sites)
+			for _, pl := range []int{1000, 5000, 10000} {
+				if pl > sites {
+					continue
+				}
+				ds, err := seqsim.GridDataset(taxa, sites, pl, cfg.Scale, cfg.Seed)
+				if err != nil {
+					return err
+				}
+				st := ds.Stats()
+				row += fmt.Sprintf(" p%d:%dx%d", pl, st.NumPartitions, st.MinPatterns)
+			}
+			fmt.Fprintln(cfg.Out, row)
+		}
+	}
+	for _, spec := range []seqsim.RealWorldSpec{seqsim.R26Spec, seqsim.R24Spec, seqsim.R125Spec} {
+		ds, err := seqsim.RealWorldDataset(spec, cfg.Scale, cfg.Seed)
+		if err != nil {
+			return err
+		}
+		d, err := alignment.Compress(ds.Alignment, ds.Parts, alignment.CompressOptions{})
+		if err != nil {
+			return err
+		}
+		st := d.Stats()
+		fmt.Fprintf(cfg.Out, "%-12s %6d %8d  %d partitions, %d..%d patterns (paper: %d..%d at full scale), type %v\n",
+			spec.Name, spec.Taxa, d.TotalSites, st.NumPartitions, st.MinPatterns, st.MaxPatterns,
+			spec.MinPart, spec.MaxPart, spec.Type)
+	}
+	fmt.Fprintln(cfg.Out)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

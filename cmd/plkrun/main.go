@@ -1,0 +1,133 @@
+// Command plkrun runs one phylogenetic likelihood analysis: model-parameter
+// optimization or a full ML tree search, sequentially or in parallel, under
+// the oldPAR or newPAR strategy, on a file-based or generated dataset.
+//
+// Examples:
+//
+//	plkrun -align data.phy -parts data.part -mode search -threads 8 -strategy new -perpart
+//	plkrun -grid d50_50000 -partlen 1000 -scale 0.02 -mode modelopt -threads 16 -virtual -strategy old
+//	plkrun -real r125_19839 -scale 0.05 -mode search -threads 8 -virtual
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"phylo"
+)
+
+func main() {
+	var (
+		alignPath = flag.String("align", "", "PHYLIP alignment file")
+		partsPath = flag.String("parts", "", "RAxML-style partition file")
+		grid      = flag.String("grid", "", "generate a simulated grid dataset, e.g. d50_50000")
+		real      = flag.String("real", "", "generate a real-world stand-in: r26_21451, r24_16916, r125_19839")
+		partLen   = flag.Int("partlen", 1000, "partition length for -grid (1000/5000/10000)")
+		scale     = flag.Float64("scale", 1.0, "dataset column scale (1.0 = paper scale)")
+		mode      = flag.String("mode", "eval", "analysis: eval | modelopt | search")
+		threads   = flag.Int("threads", 1, "worker count")
+		strategy  = flag.String("strategy", "new", "parallelization strategy: old | new")
+		perPart   = flag.Bool("perpart", false, "per-partition branch lengths")
+		virtual   = flag.Bool("virtual", false, "virtual workers + platform pricing instead of real goroutines")
+		seed      = flag.Int64("seed", 42, "random seed (datasets and starting tree)")
+		rounds    = flag.Int("rounds", 2, "SPR rounds for -mode search")
+		radius    = flag.Int("radius", 5, "SPR rearrangement radius")
+		treePath  = flag.String("tree", "", "Newick starting tree file (default: random from -seed)")
+	)
+	flag.Parse()
+
+	al, err := loadAlignment(*alignPath, *partsPath, *grid, *real, *partLen, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	strat := phylo.NewPar
+	if strings.HasPrefix(strings.ToLower(*strategy), "old") {
+		strat = phylo.OldPar
+	}
+	opts := phylo.Options{
+		Threads:                   *threads,
+		Strategy:                  strat,
+		PerPartitionBranchLengths: *perPart,
+		VirtualThreads:            *virtual,
+		Seed:                      *seed,
+	}
+	if *treePath != "" {
+		nwk, err := os.ReadFile(*treePath)
+		if err != nil {
+			fatal(err)
+		}
+		opts.StartTreeNewick = strings.TrimSpace(string(nwk))
+	}
+	an, err := phylo.NewAnalysis(al, opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer an.Close()
+
+	fmt.Printf("dataset: %d taxa, %d sites, %d partitions; strategy %v, %d threads\n",
+		al.NumTaxa(), al.NumSites(), al.NumPartitions(), strat, *threads)
+
+	var lnl float64
+	switch *mode {
+	case "eval":
+		lnl = an.LogLikelihood()
+	case "modelopt":
+		lnl, err = an.OptimizeModel()
+	case "search":
+		var res phylo.SearchResult
+		res, err = an.SearchWith(phylo.SearchOptions{MaxRounds: *rounds, Radius: *radius})
+		lnl = res.LnL
+		if err == nil {
+			fmt.Printf("search: %d rounds, %d/%d moves applied\n", res.Rounds, res.MovesApplied, res.MovesTried)
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("log likelihood: %.4f\n", lnl)
+	st := an.Stats()
+	fmt.Printf("parallel regions (barriers): %d   load imbalance: %.2f\n", st.Regions, st.Imbalance)
+	if *virtual {
+		for _, p := range []string{"Nehalem", "Clovertown", "Barcelona", "x4600"} {
+			if s, err := an.PlatformSeconds(p); err == nil {
+				fmt.Printf("  virtual runtime on %-11s %10.1f s\n", p+":", s)
+			}
+		}
+	}
+	fmt.Printf("final tree: %s\n", an.TreeNewick())
+}
+
+func loadAlignment(alignPath, partsPath, grid, real string, partLen int, scale float64, seed int64) (*phylo.Alignment, error) {
+	switch {
+	case alignPath != "":
+		al, err := phylo.ReadPhylipFile(alignPath)
+		if err != nil {
+			return nil, err
+		}
+		if partsPath != "" {
+			if err := al.SetPartitionsFromFile(partsPath); err != nil {
+				return nil, err
+			}
+		}
+		return al, nil
+	case grid != "":
+		var taxa, sites int
+		if _, err := fmt.Sscanf(grid, "d%d_%d", &taxa, &sites); err != nil {
+			return nil, fmt.Errorf("bad grid name %q (want dTAXA_SITES)", grid)
+		}
+		return phylo.SimulateGrid(taxa, sites, partLen, scale, seed)
+	case real != "":
+		return phylo.SimulateRealWorld(real, scale, seed)
+	default:
+		return nil, fmt.Errorf("need one of -align, -grid, -real")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plkrun:", err)
+	os.Exit(1)
+}

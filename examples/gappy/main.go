@@ -1,0 +1,60 @@
+// Gappy: partitioned analysis of a "gappy" phylogenomic alignment (Figure 2
+// of the paper): not every gene is sampled for every organism, so entire
+// taxon-partition blocks are alignment gaps. Per-partition branch lengths
+// are exactly the model the paper argues for on such data.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"phylo"
+)
+
+// Two genes, six taxa; taxon C misses gene1 entirely and taxon F gene0.
+const gappy = `6 40
+A  ACGTACGTACGTACGTACGT ACGTACGTACGTACGTACGT
+B  ACGTACGTACTTACGTACGT ACGAACGTACGTACGTACGT
+C  ACGTACGGACGTACGTACGT --------------------
+D  TCGTACGTACGTACGTACGT ACGAACGTACGTACCTACGT
+E  TCGTACGTACGTACGAACGT ACGAACGGACGTACCTACGT
+F  -------------------- ACGAACGGACGTACCTAGGT
+`
+
+func main() {
+	al, err := phylo.ReadPhylip(strings.NewReader(gappy))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := al.SetPartitionsFromReader(strings.NewReader(
+		"DNA, gene0 = 1-20\nDNA, gene1 = 21-40\n")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("gappy alignment: %d taxa, %d sites, %d partitions\n",
+		al.NumTaxa(), al.NumSites(), al.NumPartitions())
+
+	an, err := phylo.NewAnalysis(al, phylo.Options{
+		Strategy:                  phylo.NewPar,
+		PerPartitionBranchLengths: true,
+		Seed:                      5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer an.Close()
+
+	lnl, err := an.OptimizeModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+	total, perPart := an.PartitionLogLikelihoods()
+	fmt.Printf("optimized lnL: %.4f (check: %.4f)\n", lnl, total)
+	for i, v := range perPart {
+		alpha, _ := an.Alpha(i)
+		fmt.Printf("  gene%d: lnL %.4f, alpha %.3f\n", i, v, alpha)
+	}
+	fmt.Println("\nall-gap taxon blocks contribute a constant to the likelihood and")
+	fmt.Println("every gene gets its own branch lengths, Q matrix, and alpha.")
+	fmt.Printf("tree: %s\n", an.TreeNewick())
+}

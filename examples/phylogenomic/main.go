@@ -1,0 +1,75 @@
+// Phylogenomic: the paper's headline experiment in miniature. A partitioned
+// multi-gene DNA alignment (50 genes) is analyzed with per-partition branch
+// lengths under both parallelization strategies on 8 virtual cores; the run
+// prints the synchronization counts, the load imbalance, and the virtual
+// runtime on the paper's four platforms — showing why newPAR wins.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"phylo"
+)
+
+func main() {
+	// d50_50000 with 50 partitions of 1000 columns, scaled to 2% of the
+	// paper's column count so the example runs in seconds.
+	const scale = 0.02
+
+	fmt.Println("dataset: d50_50000, 50 partitions x 1000 columns (scaled to 2%)")
+	fmt.Println("analysis: ML tree search, per-partition branch lengths, 8 virtual threads")
+	fmt.Println()
+
+	type outcome struct {
+		lnl      float64
+		regions  int64
+		imbal    float64
+		platform map[string]float64
+	}
+	results := map[phylo.Strategy]outcome{}
+	for _, strat := range []phylo.Strategy{phylo.OldPar, phylo.NewPar} {
+		al, err := phylo.SimulateGrid(50, 50000, 1000, scale, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		an, err := phylo.NewAnalysis(al, phylo.Options{
+			Threads:                   8,
+			VirtualThreads:            true, // trace-priced virtual platforms
+			Strategy:                  strat,
+			PerPartitionBranchLengths: true,
+			Seed:                      142, // the same fixed input tree for both runs
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := an.SearchWith(phylo.SearchOptions{MaxRounds: 1, Radius: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := an.Stats()
+		o := outcome{lnl: res.LnL, regions: st.Regions, imbal: st.Imbalance,
+			platform: map[string]float64{}}
+		for _, p := range []string{"Nehalem", "Clovertown", "Barcelona", "x4600"} {
+			s, _ := an.PlatformSeconds(p)
+			o.platform[p] = s
+		}
+		results[strat] = o
+		an.Close()
+	}
+
+	for _, strat := range []phylo.Strategy{phylo.OldPar, phylo.NewPar} {
+		o := results[strat]
+		fmt.Printf("%v: lnL %.2f, %d synchronization events, imbalance %.2f\n",
+			strat, o.lnl, o.regions, o.imbal)
+	}
+	fmt.Println("\nvirtual runtime [s] on the paper's platforms (8 threads):")
+	fmt.Printf("%-12s %10s %10s %12s\n", "platform", "oldPAR", "newPAR", "improvement")
+	for _, p := range []string{"Nehalem", "Clovertown", "Barcelona", "x4600"} {
+		old := results[phylo.OldPar].platform[p]
+		neu := results[phylo.NewPar].platform[p]
+		fmt.Printf("%-12s %10.1f %10.1f %11.2fx\n", p, old, neu, old/neu)
+	}
+	fmt.Println("\nboth strategies converge to the same likelihood; newPAR just")
+	fmt.Println("amortizes each barrier over the full alignment width.")
+}

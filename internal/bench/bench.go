@@ -1,0 +1,156 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation (Section V). A run executes a full
+// analysis (model optimization on a fixed tree, or an ML tree search) on a
+// generated dataset under a chosen parallelization strategy and thread
+// count, using either the real goroutine pool (host wall-clock numbers) or
+// the virtual-platform executor, whose recorded region trace is priced on
+// the paper's four machines (see DESIGN.md substitution #1).
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"phylo/internal/alignment"
+	"phylo/internal/core"
+	"phylo/internal/model"
+	"phylo/internal/opt"
+	"phylo/internal/parallel"
+	"phylo/internal/search"
+	"phylo/internal/seqsim"
+	"phylo/internal/tree"
+)
+
+// Mode selects the analysis the paper benchmarks.
+type Mode int
+
+const (
+	// ModeModelOpt optimizes ML model parameters on the fixed input tree
+	// (no tree search).
+	ModeModelOpt Mode = iota
+	// ModeSearch runs the full ML tree search.
+	ModeSearch
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeSearch {
+		return "tree-search"
+	}
+	return "model-opt"
+}
+
+// Backend selects the executor.
+type Backend int
+
+const (
+	// BackendSim runs T virtual workers serially and records the region
+	// trace for platform pricing (identical numerics to a real pool).
+	BackendSim Backend = iota
+	// BackendPool runs a real goroutine pool and measures host wall-clock.
+	BackendPool
+)
+
+// RunSpec describes one benchmark configuration.
+type RunSpec struct {
+	Dataset        *seqsim.Dataset
+	Partitioned    bool // false collapses everything into one partition
+	PerPartitionBL bool // per-partition vs joint branch-length estimate
+	Strategy       opt.Strategy
+	Threads        int
+	Mode           Mode
+	Backend        Backend
+	TreeSeed       int64 // fixed input tree (identical across configurations)
+	SearchRounds   int   // SPR rounds for ModeSearch (0 = default)
+	SearchRadius   int   // rearrangement radius (0 = default)
+	OptimizeRates  bool  // include GTR rate optimization in ModeModelOpt
+}
+
+// Measurement is the outcome of one run.
+type Measurement struct {
+	Label           string
+	LnL             float64
+	WallSeconds     float64
+	Stats           parallel.Stats
+	Threads         int
+	PlatformSeconds map[string]float64 // virtual seconds per paper platform
+}
+
+// Run executes one configuration.
+func Run(spec RunSpec) (*Measurement, error) {
+	ds := spec.Dataset
+	parts := ds.Parts
+	if !spec.Partitioned {
+		parts = alignment.SinglePartition(ds.Alignment, ds.Parts[0].Type, "all")
+	}
+	d, err := alignment.Compress(ds.Alignment, parts, alignment.CompressOptions{})
+	if err != nil {
+		return nil, err
+	}
+	models := make([]*model.Model, len(d.Parts))
+	for i, p := range d.Parts {
+		m, err := model.DefaultFor(p, 4, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		models[i] = m
+	}
+	zSlots := 1
+	if spec.PerPartitionBL && len(d.Parts) > 1 {
+		zSlots = len(d.Parts)
+	}
+	// The fixed input tree: the paper runs every configuration on the same
+	// starting tree for reproducibility, so that oldPAR and newPAR perform
+	// identical algorithmic work.
+	tr, err := tree.Random(ds.Alignment.Names, zSlots, tree.RandomOptions{Seed: spec.TreeSeed})
+	if err != nil {
+		return nil, err
+	}
+	var exec parallel.Executor
+	switch spec.Backend {
+	case BackendPool:
+		exec, err = parallel.NewPool(spec.Threads)
+	default:
+		exec, err = parallel.NewSim(spec.Threads)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer exec.Close()
+	eng, err := core.New(d, tr, models, exec, core.Options{Specialize: true})
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	var lnl float64
+	switch spec.Mode {
+	case ModeSearch:
+		cfg := search.DefaultConfig(spec.Strategy)
+		if spec.SearchRounds > 0 {
+			cfg.MaxRounds = spec.SearchRounds
+		}
+		if spec.SearchRadius > 0 {
+			cfg.Radius = spec.SearchRadius
+		}
+		lnl = search.New(eng, cfg).Run().LnL
+	default:
+		cfg := opt.DefaultConfig(spec.Strategy)
+		cfg.OptimizeRates = spec.OptimizeRates
+		lnl, _ = opt.New(eng, cfg).OptimizeModel()
+	}
+	wall := time.Since(start).Seconds()
+
+	m := &Measurement{
+		Label:       fmt.Sprintf("%s %s T=%d", ds.Name, spec.Strategy, spec.Threads),
+		LnL:         lnl,
+		WallSeconds: wall,
+		Stats:       *exec.Stats(),
+		Threads:     spec.Threads,
+	}
+	m.PlatformSeconds = make(map[string]float64, len(parallel.Platforms))
+	for _, p := range parallel.Platforms {
+		m.PlatformSeconds[p.Name] = p.EvalSeconds(&m.Stats, spec.Threads)
+	}
+	return m, nil
+}

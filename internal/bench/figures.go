@@ -1,0 +1,352 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"phylo/internal/opt"
+	"phylo/internal/parallel"
+	"phylo/internal/seqsim"
+)
+
+// FigureConfig scales the experiment suite. The paper's runs take 10^3-10^4
+// seconds per configuration on 2009 hardware; Scale shrinks the column count
+// of every dataset proportionally (partition COUNT is preserved, which is
+// what drives the load-balance behaviour) so the suite finishes on a laptop.
+// Set Scale to 1.0 to regenerate at paper scale.
+type FigureConfig struct {
+	Scale        float64
+	SearchRounds int
+	SearchRadius int
+	Seed         int64
+	Out          io.Writer
+}
+
+// DefaultFigureConfig returns laptop-scale defaults.
+func DefaultFigureConfig(out io.Writer) FigureConfig {
+	return FigureConfig{
+		Scale:        0.04,
+		SearchRounds: 1,
+		SearchRadius: 3,
+		Seed:         42,
+		Out:          out,
+	}
+}
+
+// figureConfigs are the five bars of Figures 3-5: Sequential, Old 8, New 8,
+// Old 16, New 16.
+type barSpec struct {
+	label    string
+	threads  int
+	strategy opt.Strategy
+}
+
+var figureBars = []barSpec{
+	{"Sequential", 1, opt.NewPar},
+	{"Old 8", 8, opt.OldPar},
+	{"New 8", 8, opt.NewPar},
+	{"Old 16", 16, opt.OldPar},
+	{"New 16", 16, opt.NewPar},
+}
+
+// runtimeFigure runs one runtime-bars figure (the template of Figures 3-5):
+// a full ML tree search with per-partition branch lengths on the given
+// dataset, measured sequentially and with both strategies on 8 and 16
+// threads, priced on the paper's four platforms.
+func runtimeFigure(cfg FigureConfig, title string, ds *seqsim.Dataset) error {
+	fmt.Fprintf(cfg.Out, "=== %s ===\n", title)
+	st := ds.Stats()
+	fmt.Fprintf(cfg.Out, "dataset %s: %d taxa, %d partitions, %d..%d patterns/partition, %d total patterns (scale %.3g)\n",
+		ds.Name, ds.Alignment.NumTaxa(), st.NumPartitions, st.MinPatterns, st.MaxPatterns, st.TotalPatterns, cfg.Scale)
+
+	results := make([]*Measurement, len(figureBars))
+	for i, bar := range figureBars {
+		m, err := Run(RunSpec{
+			Dataset:        ds,
+			Partitioned:    true,
+			PerPartitionBL: true,
+			Strategy:       bar.strategy,
+			Threads:        bar.threads,
+			Mode:           ModeSearch,
+			Backend:        BackendSim,
+			TreeSeed:       cfg.Seed + 100,
+			SearchRounds:   cfg.SearchRounds,
+			SearchRadius:   cfg.SearchRadius,
+		})
+		if err != nil {
+			return err
+		}
+		results[i] = m
+		fmt.Fprintf(cfg.Out, "  ran %-10s  lnL=%.2f  regions=%-8d criticalOps=%.3g  host=%.1fs\n",
+			bar.label, m.LnL, m.Stats.Regions, m.Stats.CriticalOps, m.WallSeconds)
+	}
+
+	fmt.Fprintf(cfg.Out, "\nvirtual runtime [s] per platform (trace-priced; see DESIGN.md substitution #1):\n")
+	fmt.Fprintf(cfg.Out, "%-12s", "platform")
+	for _, bar := range figureBars {
+		fmt.Fprintf(cfg.Out, " %12s", bar.label)
+	}
+	fmt.Fprintln(cfg.Out)
+	for _, p := range parallel.Platforms {
+		fmt.Fprintf(cfg.Out, "%-12s", p.Name)
+		for i, bar := range figureBars {
+			if bar.threads > p.MaxThreads {
+				fmt.Fprintf(cfg.Out, " %12s", "n/a")
+				continue
+			}
+			fmt.Fprintf(cfg.Out, " %12.1f", results[i].PlatformSeconds[p.Name])
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	fmt.Fprintf(cfg.Out, "\nimprovement factor old/new (the paper reports up to 8x):\n")
+	for _, p := range parallel.Platforms {
+		o8, n8 := results[1].PlatformSeconds[p.Name], results[2].PlatformSeconds[p.Name]
+		line := fmt.Sprintf("%-12s 8 threads: %.2fx", p.Name, o8/n8)
+		if p.MaxThreads >= 16 {
+			o16, n16 := results[3].PlatformSeconds[p.Name], results[4].PlatformSeconds[p.Name]
+			line += fmt.Sprintf("   16 threads: %.2fx", o16/n16)
+			if o16 > o8 {
+				line += "   (oldPAR slows DOWN from 8 to 16 threads, as in the paper)"
+			}
+		}
+		fmt.Fprintln(cfg.Out, line)
+	}
+	fmt.Fprintln(cfg.Out)
+	return nil
+}
+
+// Figure3 regenerates Figure 3: runtimes for d50_50000 with 50 partitions of
+// 1,000 columns each.
+func Figure3(cfg FigureConfig) error {
+	ds, err := seqsim.GridDataset(50, 50000, 1000, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	return runtimeFigure(cfg, "Figure 3: d50_50000, 50 partitions x 1000 columns, full ML tree search, per-partition branch lengths", ds)
+}
+
+// Figure4 regenerates Figure 4: runtimes for d100_50000, 50 partitions.
+func Figure4(cfg FigureConfig) error {
+	ds, err := seqsim.GridDataset(100, 50000, 1000, cfg.Scale, cfg.Seed+1)
+	if err != nil {
+		return err
+	}
+	return runtimeFigure(cfg, "Figure 4: d100_50000, 50 partitions x 1000 columns, full ML tree search, per-partition branch lengths", ds)
+}
+
+// Figure5 regenerates Figure 5: runtimes for the real-world mammalian
+// dataset r125_19839 (34 partitions of 148..2705 patterns).
+func Figure5(cfg FigureConfig) error {
+	ds, err := seqsim.RealWorldDataset(seqsim.R125Spec, cfg.Scale, cfg.Seed+2)
+	if err != nil {
+		return err
+	}
+	return runtimeFigure(cfg, "Figure 5: r125_19839 (mammalian DNA stand-in), 34 variable-length partitions, full ML tree search, per-partition branch lengths", ds)
+}
+
+// Figure6 regenerates Figure 6: speedups on the Intel Nehalem for
+// d50_50000/p1000 — unpartitioned analysis vs newPAR vs oldPAR partitioned
+// analyses on 2, 4, and 8 threads.
+func Figure6(cfg FigureConfig) error {
+	fmt.Fprintln(cfg.Out, "=== Figure 6: speedup on Nehalem, d50_50000 p1000 — Unpartitioned vs New vs Old ===")
+	ds, err := seqsim.GridDataset(50, 50000, 1000, cfg.Scale, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	type series struct {
+		label       string
+		partitioned bool
+		strategy    opt.Strategy
+	}
+	all := []series{
+		{"Unpartitioned", false, opt.NewPar},
+		{"New", true, opt.NewPar},
+		{"Old", true, opt.OldPar},
+	}
+	threads := []int{1, 2, 4, 8}
+	neh := parallel.Nehalem
+	fmt.Fprintf(cfg.Out, "%-14s %8s %8s %8s\n", "series", "T=2", "T=4", "T=8")
+	for _, s := range all {
+		times := make(map[int]float64, len(threads))
+		for _, t := range threads {
+			m, err := Run(RunSpec{
+				Dataset:        ds,
+				Partitioned:    s.partitioned,
+				PerPartitionBL: s.partitioned,
+				Strategy:       s.strategy,
+				Threads:        t,
+				Mode:           ModeSearch,
+				Backend:        BackendSim,
+				TreeSeed:       cfg.Seed + 100,
+				SearchRounds:   cfg.SearchRounds,
+				SearchRadius:   cfg.SearchRadius,
+			})
+			if err != nil {
+				return err
+			}
+			times[t] = neh.EvalSeconds(&m.Stats, t)
+		}
+		fmt.Fprintf(cfg.Out, "%-14s", s.label)
+		for _, t := range threads[1:] {
+			fmt.Fprintf(cfg.Out, " %8.2f", times[1]/times[t])
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	fmt.Fprintln(cfg.Out, "(paper: New nearly matches the Unpartitioned speedup; Old falls far behind)")
+	fmt.Fprintln(cfg.Out)
+	return nil
+}
+
+// JointBLExperiment regenerates the text result that analyses with a JOINT
+// branch-length estimate see only ~5% improvement from newPAR (both for tree
+// searches and stand-alone model optimization).
+func JointBLExperiment(cfg FigureConfig) error {
+	fmt.Fprintln(cfg.Out, "=== Text result: joint branch-length estimate, old vs new (paper: ~5%) ===")
+	ds, err := seqsim.GridDataset(50, 20000, 1000, cfg.Scale, cfg.Seed+3)
+	if err != nil {
+		return err
+	}
+	for _, mode := range []Mode{ModeSearch, ModeModelOpt} {
+		var times [2]float64
+		for i, strat := range []opt.Strategy{opt.OldPar, opt.NewPar} {
+			m, err := Run(RunSpec{
+				Dataset:        ds,
+				Partitioned:    true,
+				PerPartitionBL: false, // joint estimate
+				Strategy:       strat,
+				Threads:        8,
+				Mode:           mode,
+				Backend:        BackendSim,
+				TreeSeed:       cfg.Seed + 100,
+				SearchRounds:   cfg.SearchRounds,
+				SearchRadius:   cfg.SearchRadius,
+				OptimizeRates:  mode == ModeModelOpt,
+			})
+			if err != nil {
+				return err
+			}
+			times[i] = m.PlatformSeconds[parallel.Barcelona.Name]
+		}
+		fmt.Fprintf(cfg.Out, "%-12s Barcelona 8T: oldPAR %.1fs, newPAR %.1fs, improvement %.1f%%\n",
+			mode, times[0], times[1], 100*(times[0]-times[1])/times[0])
+	}
+	fmt.Fprintln(cfg.Out)
+	return nil
+}
+
+// ModelOptExperiment regenerates the text result for model parameter
+// optimization on a fixed tree with per-partition branch lengths (paper:
+// 5-10% improvement, smaller than tree search because a full traversal gives
+// every thread more work per synchronization).
+func ModelOptExperiment(cfg FigureConfig) error {
+	fmt.Fprintln(cfg.Out, "=== Text result: model-parameter optimization on fixed tree, per-partition BL (paper: 5-10%) ===")
+	ds, err := seqsim.GridDataset(50, 20000, 1000, cfg.Scale, cfg.Seed+4)
+	if err != nil {
+		return err
+	}
+	var times [2]float64
+	for i, strat := range []opt.Strategy{opt.OldPar, opt.NewPar} {
+		m, err := Run(RunSpec{
+			Dataset:        ds,
+			Partitioned:    true,
+			PerPartitionBL: true,
+			Strategy:       strat,
+			Threads:        8,
+			Mode:           ModeModelOpt,
+			Backend:        BackendSim,
+			TreeSeed:       cfg.Seed + 100,
+			OptimizeRates:  true,
+		})
+		if err != nil {
+			return err
+		}
+		times[i] = m.PlatformSeconds[parallel.Barcelona.Name]
+	}
+	fmt.Fprintf(cfg.Out, "model-opt Barcelona 8T: oldPAR %.1fs, newPAR %.1fs, improvement %.1f%%\n\n",
+		times[0], times[1], 100*(times[0]-times[1])/times[0])
+	return nil
+}
+
+// ProteinExperiment regenerates the text result on the two viral protein
+// datasets (paper: only 5-10% speedup difference, because the 20x20 kernels
+// do ~25x more work per column, masking the load imbalance).
+func ProteinExperiment(cfg FigureConfig) error {
+	fmt.Fprintln(cfg.Out, "=== Text result: protein datasets r26_21451 / r24_16916 (paper: 5-10%) ===")
+	for _, spec := range []seqsim.RealWorldSpec{seqsim.R26Spec, seqsim.R24Spec} {
+		ds, err := seqsim.RealWorldDataset(spec, cfg.Scale, cfg.Seed+5)
+		if err != nil {
+			return err
+		}
+		var times [2]float64
+		for i, strat := range []opt.Strategy{opt.OldPar, opt.NewPar} {
+			m, err := Run(RunSpec{
+				Dataset:        ds,
+				Partitioned:    true,
+				PerPartitionBL: true,
+				Strategy:       strat,
+				Threads:        8,
+				Mode:           ModeSearch,
+				Backend:        BackendSim,
+				TreeSeed:       cfg.Seed + 100,
+				SearchRounds:   cfg.SearchRounds,
+				SearchRadius:   cfg.SearchRadius,
+			})
+			if err != nil {
+				return err
+			}
+			times[i] = m.PlatformSeconds[parallel.Barcelona.Name]
+		}
+		fmt.Fprintf(cfg.Out, "%-12s Barcelona 8T: oldPAR %.1fs, newPAR %.1fs, improvement %.1f%%\n",
+			ds.Name, times[0], times[1], 100*(times[0]-times[1])/times[0])
+	}
+	fmt.Fprintln(cfg.Out)
+	return nil
+}
+
+// WidthMicrobench quantifies Section IV's worst case — "more threads
+// available than distinct patterns in a specific partition" — by reporting
+// idle workers and per-region imbalance for one branch-length optimization.
+func WidthMicrobench(cfg FigureConfig) error {
+	fmt.Fprintln(cfg.Out, "=== Microbench: region width vs thread count (Sec. IV worst case) ===")
+	ds, err := seqsim.GridDataset(50, 20000, 1000, cfg.Scale, cfg.Seed+6)
+	if err != nil {
+		return err
+	}
+	for _, threads := range []int{8, 16, 32} {
+		for i, strat := range []opt.Strategy{opt.OldPar, opt.NewPar} {
+			m, err := Run(RunSpec{
+				Dataset:        ds,
+				Partitioned:    true,
+				PerPartitionBL: true,
+				Strategy:       strat,
+				Threads:        threads,
+				Mode:           ModeModelOpt,
+				Backend:        BackendSim,
+				TreeSeed:       cfg.Seed + 100,
+			})
+			if err != nil {
+				return err
+			}
+			_ = i
+			fmt.Fprintf(cfg.Out, "T=%-3d %-7s regions=%-9d imbalance=%.2f\n",
+				threads, strat, m.Stats.Regions, m.Stats.Imbalance(threads))
+		}
+	}
+	st := ds.Stats()
+	fmt.Fprintf(cfg.Out, "smallest partition has %d patterns: with more threads than patterns, workers idle per oldPAR region\n\n", st.MinPatterns)
+	return nil
+}
+
+// RunAll regenerates every figure and text result in paper order.
+func RunAll(cfg FigureConfig) error {
+	steps := []func(FigureConfig) error{
+		Figure3, Figure4, Figure5, Figure6,
+		JointBLExperiment, ModelOptExperiment, ProteinExperiment, WidthMicrobench,
+	}
+	for _, f := range steps {
+		if err := f(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}

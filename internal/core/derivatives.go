@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+
+	"phylo/internal/alignment"
+	"phylo/internal/parallel"
+	"phylo/internal/tree"
+)
+
+// PrepareSumtable projects the CLVs at both ends of branch (p, p.Back) into
+// the eigenbasis and stores, per pattern/category/eigenindex k,
+//
+//	A[k] = (sum_s pi_s L_s V_{sk}) * (sum_s' Vinv_{ks'} R_s') / numCats
+//
+// so that the per-site likelihood along the branch becomes the exponential
+// sum l_i(z) = sum_{c,k} A_i[c,k] exp(lambda_k r_c z). One sumtable prepares
+// an arbitrary number of cheap Newton-Raphson derivative iterations for the
+// same branch — the sumtable region runs once per branch, the derivative
+// regions once per Newton iteration. Both end CLVs must be valid (use
+// TraverseRoot first).
+func (e *Engine) PrepareSumtable(p *tree.Node, active []bool) {
+	q := p.Back
+	act := e.activeOrAll(active)
+	e.Exec.Run(parallel.RegionSumTable, func(w int, ctx *parallel.WorkerCtx) {
+		ops := 0.0
+		for ip := range e.Data.Parts {
+			if !act[ip] {
+				continue
+			}
+			ops += e.sumtablePartition(p, q, ip, w)
+		}
+		ctx.Ops += ops
+	})
+}
+
+func (e *Engine) sumtablePartition(p, q *tree.Node, ip, w int) float64 {
+	part := e.Data.Parts[ip]
+	s := part.Type.States()
+	cats := e.numCats
+	cs := cats * s
+	m := e.Models[ip]
+	base := e.clvBase[ip]
+	sbase := e.sumBase[ip]
+	v := m.EigenVecs
+	vi := m.InvVecs
+	freqs := m.Freqs
+	invCats := 1.0 / float64(cats)
+
+	pTip, qTip := p.IsTip(), q.IsTip()
+	var pv, qv []float64
+	var pRow, qRow []byte
+	if pTip {
+		pRow = part.Tips[p.Index]
+	} else {
+		pv = e.clv(p.Index)
+	}
+	if qTip {
+		qRow = part.Tips[q.Index]
+	} else {
+		qv = e.clv(q.Index)
+	}
+	count := 0
+	start, end, step := e.workRange(part.Offset, part.End(), w)
+	for i := start; i < end; i += step {
+		j := i - part.Offset
+		off := base + j*cs
+		soff := sbase + j*cs
+		var xl, xr []float64
+		if pTip {
+			xl = alignment.TipVector(part.Type, pRow[j])
+		} else {
+			xl = pv[off : off+cs]
+		}
+		if qTip {
+			xr = alignment.TipVector(part.Type, qRow[j])
+		} else {
+			xr = qv[off : off+cs]
+		}
+		for c := 0; c < cats; c++ {
+			cl := xl
+			if !pTip {
+				cl = xl[c*s : (c+1)*s]
+			}
+			cr := xr
+			if !qTip {
+				cr = xr[c*s : (c+1)*s]
+			}
+			dst := e.sumtable[soff+c*s : soff+(c+1)*s]
+			for k := 0; k < s; k++ {
+				lproj, rproj := 0.0, 0.0
+				for a := 0; a < s; a++ {
+					lproj += freqs[a] * cl[a] * v[a*s+k]
+					rproj += vi[k*s+a] * cr[a]
+				}
+				dst[k] = lproj * rproj * invCats
+			}
+		}
+		count++
+	}
+	return float64(count) * opsSumtable(s, cats)
+}
+
+// BranchDerivatives evaluates d lnL / dz and d^2 lnL / dz^2 for the branch
+// whose sumtable was last prepared, at per-partition branch lengths z (z is
+// indexed by partition; with a joint estimate pass the same value in every
+// active entry). Results are written into d1 and d2 (length NumPartitions);
+// masked partitions are zeroed. One parallel region per call — this is the
+// unit of synchronization the paper counts per Newton iteration.
+func (e *Engine) BranchDerivatives(z []float64, active []bool, d1, d2 []float64) {
+	act := e.activeOrAll(active)
+	e.Exec.Run(parallel.RegionDerivative, func(w int, ctx *parallel.WorkerCtx) {
+		partials := e.derivPartials[w]
+		ex := e.exScratch[w]
+		ops := 0.0
+		for ip := range e.Data.Parts {
+			partials[2*ip] = 0
+			partials[2*ip+1] = 0
+			if !act[ip] {
+				continue
+			}
+			ops += e.derivativePartition(ip, z[ip], w, partials, ex)
+		}
+		ctx.Ops += ops
+	})
+	for ip := range d1 {
+		d1[ip], d2[ip] = 0, 0
+	}
+	for w := 0; w < e.Exec.Threads(); w++ {
+		partials := e.derivPartials[w]
+		for ip := range e.Data.Parts {
+			d1[ip] += partials[2*ip]
+			d2[ip] += partials[2*ip+1]
+		}
+	}
+}
+
+func (e *Engine) derivativePartition(ip int, z float64, w int, partials, ex []float64) float64 {
+	part := e.Data.Parts[ip]
+	s := part.Type.States()
+	cats := e.numCats
+	cs := cats * s
+	m := e.Models[ip]
+	sbase := e.sumBase[ip]
+	// Per-category exponential tables: E = exp(lambda_k r_c z), plus the
+	// first and second derivative factors g1 = lambda_k r_c, g2 = g1^2.
+	eTab := ex[0:cs]
+	g1Tab := ex[cs : 2*cs]
+	g2Tab := ex[2*cs : 3*cs]
+	for c := 0; c < cats; c++ {
+		rc := m.CatRates[c]
+		for k := 0; k < s; k++ {
+			g := m.EigenVals[k] * rc
+			eTab[c*s+k] = math.Exp(g * z)
+			g1Tab[c*s+k] = g
+			g2Tab[c*s+k] = g * g
+		}
+	}
+	dd1, dd2 := 0.0, 0.0
+	count := 0
+	start, end, step := e.workRange(part.Offset, part.End(), w)
+	for i := start; i < end; i += step {
+		j := i - part.Offset
+		soff := sbase + j*cs
+		l, l1, l2 := 0.0, 0.0, 0.0
+		for k := 0; k < cs; k++ {
+			a := e.sumtable[soff+k] * eTab[k]
+			l += a
+			l1 += a * g1Tab[k]
+			l2 += a * g2Tab[k]
+		}
+		if l < 1e-300 {
+			// Scaled likelihood vanished; the pattern cannot inform this
+			// branch numerically. Skip it (RAxML guards identically).
+			continue
+		}
+		inv := 1 / l
+		r1 := l1 * inv
+		wgt := part.Weights[j]
+		dd1 += wgt * r1
+		dd2 += wgt * (l2*inv - r1*r1)
+		count++
+	}
+	partials[2*ip] = dd1
+	partials[2*ip+1] = dd2
+	return float64(count) * opsDerivative(s, cats)
+}

@@ -1,0 +1,231 @@
+// Package core implements the Phylogenetic Likelihood Kernel (PLK) itself:
+// conditional likelihood vectors (CLVs) over compressed alignment patterns,
+// the newview/evaluate operations of Felsenstein's pruning algorithm with
+// numerical scaling, and the analytic first and second branch-length
+// derivatives (sumtable scheme) that drive Newton-Raphson branch
+// optimization. All pattern loops run inside parallel regions issued to a
+// parallel.Executor with the cyclic pattern distribution described in the
+// paper; every public operation takes an optional per-partition activity
+// mask, which is the mechanism behind both oldPAR (one active partition at a
+// time) and newPAR (all non-converged partitions at once).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"phylo/internal/alignment"
+	"phylo/internal/model"
+	"phylo/internal/parallel"
+	"phylo/internal/tree"
+)
+
+// Scaling constants, matching RAxML: CLV entries below minLikelihood are
+// multiplied by 2^256 and the per-pattern scaling exponent is incremented.
+const (
+	twoTo256      = 1.157920892373162e77 // 2^256
+	minLikelihood = 1.0 / twoTo256
+	logMinLik     = -177.445678223345993 // ln(2^-256)
+)
+
+// Engine evaluates likelihoods for one dataset on one tree.
+type Engine struct {
+	Data   *alignment.CompressedData
+	Tree   *tree.Tree
+	Models []*model.Model
+	Exec   parallel.Executor
+
+	// PerPartitionBL reports whether the tree carries one branch-length slot
+	// per partition (true) or a single joint slot (false).
+	PerPartitionBL bool
+	// Specialize enables the unrolled 4-state DNA kernels (ablation switch).
+	Specialize bool
+	// BlockDistribution is an ablation switch: assign each worker one
+	// contiguous block of the global pattern range instead of the cyclic
+	// distribution the paper uses. Narrow (single-partition) regions then
+	// land on one or two workers only, and mixed DNA/AA alignments give
+	// some workers only cheap columns — the two imbalances the cyclic
+	// distribution exists to prevent (Sec. IV of the paper).
+	BlockDistribution bool
+
+	numCats  int
+	maxS     int
+	clvBase  []int // per partition: offset into a CLV buffer
+	clvLen   int   // total CLV floats per inner node
+	clvs     [][]float64
+	scales   [][]int32 // per inner node, per global pattern
+	sumtable []float64 // branch-derivative workspace, patterns x cats x maxS
+	sumBase  []int     // per partition offset into sumtable
+
+	evalPartials  [][]float64 // per worker: per-partition lnL partials
+	derivPartials [][]float64 // per worker: per-partition (d1, d2) partials
+
+	pmScratch [][2][]float64 // per worker: two P-matrix buffers (cats x s x s)
+	exScratch [][]float64    // per worker: exponential/derivative tables (3 x cats x s)
+}
+
+// Options configures engine construction.
+type Options struct {
+	// Specialize enables the unrolled DNA kernels (default true via New).
+	Specialize bool
+}
+
+// New builds an engine. models must have one entry per partition with
+// matching data types and a common category count; the tree must carry
+// either one branch-length slot (joint estimate) or one per partition.
+func New(data *alignment.CompressedData, tr *tree.Tree, models []*model.Model, exec parallel.Executor, opts Options) (*Engine, error) {
+	if data == nil || tr == nil || exec == nil {
+		return nil, errors.New("core: nil dataset, tree, or executor")
+	}
+	if len(models) != len(data.Parts) {
+		return nil, fmt.Errorf("core: %d models for %d partitions", len(models), len(data.Parts))
+	}
+	if tr.NumTips() != data.NumTaxa() {
+		return nil, fmt.Errorf("core: tree has %d tips, data %d taxa", tr.NumTips(), data.NumTaxa())
+	}
+	numCats := models[0].NumCats
+	for i, m := range models {
+		if m.Type != data.Parts[i].Type {
+			return nil, fmt.Errorf("core: model %d type %v != partition type %v", i, m.Type, data.Parts[i].Type)
+		}
+		if m.NumCats != numCats {
+			return nil, fmt.Errorf("core: model %d has %d categories, want %d", i, m.NumCats, numCats)
+		}
+		if m.Dirty() {
+			return nil, fmt.Errorf("core: model %d has a stale eigendecomposition", i)
+		}
+	}
+	perPart := false
+	switch tr.ZSlots {
+	case 1:
+	case len(data.Parts):
+		perPart = len(data.Parts) > 1
+	default:
+		return nil, fmt.Errorf("core: tree has %d branch-length slots; want 1 or %d", tr.ZSlots, len(data.Parts))
+	}
+	e := &Engine{
+		Data:           data,
+		Tree:           tr,
+		Models:         models,
+		Exec:           exec,
+		PerPartitionBL: perPart,
+		Specialize:     opts.Specialize,
+		numCats:        numCats,
+		maxS:           data.MaxStates(),
+	}
+	e.clvBase = make([]int, len(data.Parts))
+	e.sumBase = make([]int, len(data.Parts))
+	off, soff := 0, 0
+	for i, p := range data.Parts {
+		e.clvBase[i] = off
+		e.sumBase[i] = soff
+		off += p.PatternCount * numCats * p.Type.States()
+		soff += p.PatternCount * numCats * p.Type.States()
+	}
+	e.clvLen = off
+	nInner := tr.NumInner()
+	e.clvs = make([][]float64, nInner)
+	e.scales = make([][]int32, nInner)
+	for i := range e.clvs {
+		e.clvs[i] = make([]float64, off)
+		e.scales[i] = make([]int32, data.TotalPatterns)
+	}
+	e.sumtable = make([]float64, soff)
+	t := exec.Threads()
+	e.evalPartials = make([][]float64, t)
+	e.derivPartials = make([][]float64, t)
+	e.pmScratch = make([][2][]float64, t)
+	e.exScratch = make([][]float64, t)
+	for w := 0; w < t; w++ {
+		e.evalPartials[w] = make([]float64, len(data.Parts))
+		e.derivPartials[w] = make([]float64, 2*len(data.Parts))
+		e.pmScratch[w] = [2][]float64{
+			make([]float64, numCats*e.maxS*e.maxS),
+			make([]float64, numCats*e.maxS*e.maxS),
+		}
+		e.exScratch[w] = make([]float64, 3*numCats*e.maxS)
+	}
+	return e, nil
+}
+
+// NumCats returns the Gamma category count shared by all partitions.
+func (e *Engine) NumCats() int { return e.numCats }
+
+// NumPartitions returns the partition count.
+func (e *Engine) NumPartitions() int { return len(e.Data.Parts) }
+
+// slotOf maps a partition index to its branch-length slot.
+func (e *Engine) slotOf(part int) int {
+	if e.PerPartitionBL {
+		return part
+	}
+	return 0
+}
+
+// BranchSlot exposes slotOf for the optimizer packages.
+func (e *Engine) BranchSlot(part int) int { return e.slotOf(part) }
+
+// clv returns the CLV buffer of the inner node with the given node index.
+func (e *Engine) clv(nodeIndex int) []float64 {
+	return e.clvs[nodeIndex-e.Tree.NumTips()]
+}
+
+func (e *Engine) scale(nodeIndex int) []int32 {
+	return e.scales[nodeIndex-e.Tree.NumTips()]
+}
+
+// workRange returns worker w's share of the global pattern interval
+// [lo, hi): iterate `for i := start; i < end; i += step`. Under the default
+// cyclic distribution, worker w owns the global indices congruent to w
+// modulo the thread count; under the block ablation it owns the intersection
+// of [lo, hi) with its contiguous slice of the whole pattern space.
+func (e *Engine) workRange(lo, hi, w int) (start, end, step int) {
+	t := e.Exec.Threads()
+	if e.BlockDistribution {
+		chunk := (e.Data.TotalPatterns + t - 1) / t
+		start = w * chunk
+		end = start + chunk
+		if start < lo {
+			start = lo
+		}
+		if end > hi {
+			end = hi
+		}
+		return start, end, 1
+	}
+	return parallel.StrideStart(lo, w, t), hi, t
+}
+
+// activeOrAll returns an all-true mask when active is nil.
+func (e *Engine) activeOrAll(active []bool) []bool {
+	if active != nil {
+		return active
+	}
+	all := make([]bool, len(e.Data.Parts))
+	for i := range all {
+		all[i] = true
+	}
+	return all
+}
+
+// InvalidateCLVs clears all CLV orientations, forcing the next traversal to
+// recompute everything (used after wholesale model changes).
+func (e *Engine) InvalidateCLVs() { e.Tree.ClearX() }
+
+// LogLikelihood runs a full traversal to the canonical virtual root (the
+// branch at tip 0) and evaluates the total log likelihood over all
+// partitions. It is the plain "compute the score of this tree" entry point.
+func (e *Engine) LogLikelihood() float64 {
+	root := e.Tree.Tips[0].Back
+	e.Traverse(root, false, nil)
+	total, _ := e.Evaluate(root, nil)
+	return total
+}
+
+// PartitionLogLikelihoods evaluates per-partition log likelihoods at the
+// canonical root after a full traversal.
+func (e *Engine) PartitionLogLikelihoods() (float64, []float64) {
+	root := e.Tree.Tips[0].Back
+	e.Traverse(root, false, nil)
+	return e.Evaluate(root, nil)
+}

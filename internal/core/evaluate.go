@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"phylo/internal/alignment"
+	"phylo/internal/parallel"
+	"phylo/internal/tree"
+)
+
+// Evaluate computes the log likelihood at the virtual root placed on the
+// branch (p, p.Back). Both end CLVs must already be valid and oriented
+// towards the branch (use TraverseRoot). It returns the total over active
+// partitions and the per-partition values (zero entries for masked
+// partitions). The per-pattern reduction is one parallel region; the
+// per-partition sums are what the newPAR optimizers consume.
+func (e *Engine) Evaluate(p *tree.Node, active []bool) (float64, []float64) {
+	q := p.Back
+	if p.IsTip() && q.IsTip() {
+		panic("core: Evaluate on a tip-tip branch (2-taxon tree not supported)")
+	}
+	// Orient so that the possibly-tip end is q: the kernel treats p's side
+	// as the pi-weighted "left" vector, which may be a tip vector too.
+	act := e.activeOrAll(active)
+	e.Exec.Run(parallel.RegionEvaluate, func(w int, ctx *parallel.WorkerCtx) {
+		partials := e.evalPartials[w]
+		pm := e.pmScratch[w][0]
+		ops := 0.0
+		for ip := range e.Data.Parts {
+			if !act[ip] {
+				partials[ip] = 0
+				continue
+			}
+			partials[ip], ops = e.evaluatePartition(p, q, ip, w, pm, ops)
+		}
+		ctx.Ops += ops
+	})
+	perPart := make([]float64, len(e.Data.Parts))
+	total := 0.0
+	for w := 0; w < e.Exec.Threads(); w++ {
+		for ip, v := range e.evalPartials[w] {
+			perPart[ip] += v
+		}
+	}
+	for ip, v := range perPart {
+		if act[ip] {
+			total += v
+		}
+	}
+	return total, perPart
+}
+
+// evaluatePartition reduces worker w's share of one partition's site log
+// likelihoods and returns (partialSum, accumulated ops).
+func (e *Engine) evaluatePartition(p, q *tree.Node, ip, w int, pm []float64, ops float64) (float64, float64) {
+	part := e.Data.Parts[ip]
+	s := part.Type.States()
+	cats := e.numCats
+	cs := cats * s
+	ss := s * s
+	m := e.Models[ip]
+	slot := e.slotOf(ip)
+	m.PMatrices(p.Z[slot], pm[:cats*ss])
+	base := e.clvBase[ip]
+	invCats := 1.0 / float64(cats)
+
+	pTip, qTip := p.IsTip(), q.IsTip()
+	var pv, qv []float64
+	var psc, qsc []int32
+	var pRow, qRow []byte
+	if pTip {
+		pRow = part.Tips[p.Index]
+	} else {
+		pv = e.clv(p.Index)
+		psc = e.scale(p.Index)
+	}
+	if qTip {
+		qRow = part.Tips[q.Index]
+	} else {
+		qv = e.clv(q.Index)
+		qsc = e.scale(q.Index)
+	}
+	freqs := m.Freqs
+	sum := 0.0
+	count := 0
+	start, end, step := e.workRange(part.Offset, part.End(), w)
+	for i := start; i < end; i += step {
+		j := i - part.Offset
+		off := base + j*cs
+		var xl, xr []float64
+		if pTip {
+			xl = alignment.TipVector(part.Type, pRow[j])
+		} else {
+			xl = pv[off : off+cs]
+		}
+		if qTip {
+			xr = alignment.TipVector(part.Type, qRow[j])
+		} else {
+			xr = qv[off : off+cs]
+		}
+		li := 0.0
+		for c := 0; c < cats; c++ {
+			pc := pm[c*ss : (c+1)*ss]
+			cl := xl
+			if !pTip {
+				cl = xl[c*s : (c+1)*s]
+			}
+			cr := xr
+			if !qTip {
+				cr = xr[c*s : (c+1)*s]
+			}
+			for a := 0; a < s; a++ {
+				row := a * s
+				t := 0.0
+				for b := 0; b < s; b++ {
+					t += pc[row+b] * cr[b]
+				}
+				li += freqs[a] * cl[a] * t
+			}
+		}
+		li *= invCats
+		sc := int32(0)
+		if !pTip {
+			sc += psc[i]
+		}
+		if !qTip {
+			sc += qsc[i]
+		}
+		if li <= 0 || math.IsNaN(li) {
+			// Fully incompatible data cannot occur with strictly positive P
+			// matrices; guard against pathological rounding anyway.
+			li = math.SmallestNonzeroFloat64
+		}
+		sum += part.Weights[j] * (math.Log(li) + float64(sc)*logMinLik)
+		count++
+	}
+	ops += float64(count)*opsEvaluate(s, cats) + float64(cats*s*s*s)
+	return sum, ops
+}
+
+// SiteLogLikelihoods returns the per-pattern log likelihoods (unweighted) of
+// one partition at the canonical root; primarily a debugging and testing aid.
+func (e *Engine) SiteLogLikelihoods(ip int) []float64 {
+	root := e.Tree.Tips[0].Back
+	e.Traverse(root, false, nil)
+	q := root.Back
+	part := e.Data.Parts[ip]
+	out := make([]float64, part.PatternCount)
+	s := part.Type.States()
+	cats := e.numCats
+	cs := cats * s
+	ss := s * s
+	m := e.Models[ip]
+	pm := make([]float64, cats*ss)
+	m.PMatrices(root.Z[e.slotOf(ip)], pm)
+	base := e.clvBase[ip]
+	pTip, qTip := root.IsTip(), q.IsTip()
+	if pTip && qTip {
+		panic("core: degenerate two-taxon tree")
+	}
+	for j := 0; j < part.PatternCount; j++ {
+		i := part.Offset + j
+		off := base + j*cs
+		var xl, xr []float64
+		var sc int32
+		if pTip {
+			xl = alignment.TipVector(part.Type, part.Tips[root.Index][j])
+		} else {
+			xl = e.clv(root.Index)[off : off+cs]
+			sc += e.scale(root.Index)[i]
+		}
+		if qTip {
+			xr = alignment.TipVector(part.Type, part.Tips[q.Index][j])
+		} else {
+			xr = e.clv(q.Index)[off : off+cs]
+			sc += e.scale(q.Index)[i]
+		}
+		li := 0.0
+		for c := 0; c < cats; c++ {
+			pc := pm[c*ss : (c+1)*ss]
+			cl := xl
+			if !pTip {
+				cl = xl[c*s : (c+1)*s]
+			}
+			cr := xr
+			if !qTip {
+				cr = xr[c*s : (c+1)*s]
+			}
+			for a := 0; a < s; a++ {
+				t := 0.0
+				for b := 0; b < s; b++ {
+					t += pc[a*s+b] * cr[b]
+				}
+				li += m.Freqs[a] * cl[a] * t
+			}
+		}
+		li /= float64(cats)
+		out[j] = math.Log(li) + float64(sc)*logMinLik
+	}
+	return out
+}
+
+// CheckFinite validates that a log likelihood is a usable number; the
+// optimizers call it to fail fast on numerical corruption.
+func CheckFinite(lnl float64) error {
+	if math.IsNaN(lnl) || math.IsInf(lnl, 0) {
+		return fmt.Errorf("core: non-finite log likelihood %v", lnl)
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"phylo/internal/alignment"
+	"phylo/internal/parallel"
+	"phylo/internal/tree"
+)
+
+// Traverse establishes a valid CLV at record p (oriented towards p.Back) by
+// executing the necessary newview steps in a single parallel region — the
+// whole traversal descriptor is fanned out once and ends in one barrier,
+// exactly as in RAxML's Pthreads design. With partial true, only stale CLVs
+// are recomputed (the paper's partial traversals after local changes).
+// active masks the partitions to update (nil = all); masked partitions keep
+// their previous CLV contents.
+func (e *Engine) Traverse(p *tree.Node, partial bool, active []bool) {
+	e.ExecuteSteps(tree.ComputeTraversal(p, partial), active)
+}
+
+// TraverseRoot validates the CLVs at both ends of the branch (p, p.Back).
+func (e *Engine) TraverseRoot(p *tree.Node, partial bool, active []bool) {
+	e.ExecuteSteps(tree.RootTraversal(p, partial), active)
+}
+
+// ExecuteSteps executes a traversal descriptor. Every worker walks the full
+// step list and, per step and active partition, computes the two child
+// transition matrices redundantly before processing its cyclic share of the
+// patterns; this mirrors RAxML, where each Pthread computes P locally rather
+// than paying an extra synchronization to share it. The tree-search package
+// issues hand-built single-step descriptors through this entry point during
+// SPR insertion trials.
+func (e *Engine) ExecuteSteps(steps []tree.TraversalStep, active []bool) {
+	if len(steps) == 0 {
+		return
+	}
+	// Hand-built steps may bypass ComputeTraversal; keep the X orientation
+	// flags in sync with what is about to be computed (idempotent for steps
+	// that came from ComputeTraversal).
+	for _, st := range steps {
+		tree.OrientX(st.P)
+	}
+	act := e.activeOrAll(active)
+	e.Exec.Run(parallel.RegionNewview, func(w int, ctx *parallel.WorkerCtx) {
+		pmQ := e.pmScratch[w][0]
+		pmR := e.pmScratch[w][1]
+		ops := 0.0
+		for _, st := range steps {
+			for ip := range e.Data.Parts {
+				if !act[ip] {
+					continue
+				}
+				ops += e.newviewPartition(st, ip, w, pmQ, pmR)
+			}
+		}
+		ctx.Ops += ops
+	})
+}
+
+// newviewPartition recomputes worker w's share of partition ip for one
+// traversal step and returns the weighted op count.
+func (e *Engine) newviewPartition(st tree.TraversalStep, ip, w int, pmQ, pmR []float64) float64 {
+	part := e.Data.Parts[ip]
+	s := part.Type.States()
+	cats := e.numCats
+	cs := cats * s
+	m := e.Models[ip]
+	slot := e.slotOf(ip)
+	m.PMatrices(st.Q.Z[slot], pmQ[:cats*s*s])
+	m.PMatrices(st.R.Z[slot], pmR[:cats*s*s])
+
+	base := e.clvBase[ip]
+	dst := e.clv(st.P.Index)
+	dstScale := e.scale(st.P.Index)
+
+	qTip, rTip := st.Q.IsTip(), st.R.IsTip()
+	var qv, rv []float64
+	var qs, rs []int32
+	var qRow, rRow []byte
+	if qTip {
+		qRow = part.Tips[st.Q.Index]
+	} else {
+		qv = e.clv(st.Q.Index)
+		qs = e.scale(st.Q.Index)
+	}
+	if rTip {
+		rRow = part.Tips[st.R.Index]
+	} else {
+		rv = e.clv(st.R.Index)
+		rs = e.scale(st.R.Index)
+	}
+
+	count := 0
+	fast4 := e.Specialize && s == 4
+	start, end, step := e.workRange(part.Offset, part.End(), w)
+	for i := start; i < end; i += step {
+		j := i - part.Offset
+		off := base + j*cs
+		var xq, xr []float64
+		if qTip {
+			xq = alignment.TipVector(part.Type, qRow[j])
+		} else {
+			xq = qv[off : off+cs]
+		}
+		if rTip {
+			xr = alignment.TipVector(part.Type, rRow[j])
+		} else {
+			xr = rv[off : off+cs]
+		}
+		d := dst[off : off+cs]
+		if fast4 {
+			newviewPattern4(d, xq, xr, qTip, rTip, pmQ, pmR, cats)
+		} else {
+			newviewPatternGeneric(d, xq, xr, qTip, rTip, pmQ, pmR, cats, s)
+		}
+		// Numerical scaling: when every entry of the pattern's CLV drops
+		// below the threshold, multiply the whole pattern by 2^256 and
+		// remember the exponent.
+		sc := int32(0)
+		if !qTip {
+			sc += qs[i]
+		}
+		if !rTip {
+			sc += rs[i]
+		}
+		needScale := true
+		for k := 0; k < cs; k++ {
+			if d[k] >= minLikelihood || d[k] <= -minLikelihood {
+				needScale = false
+				break
+			}
+		}
+		if needScale {
+			for k := 0; k < cs; k++ {
+				d[k] *= twoTo256
+			}
+			sc++
+		}
+		dstScale[i] = sc
+		count++
+	}
+	// Per-pattern work plus the redundant per-worker P-matrix setup.
+	return float64(count)*opsNewview(s, cats) + float64(2*cats*s*s*s)
+}
+
+// newviewPatternGeneric computes one pattern's CLV for an arbitrary state
+// count: dst[c*s+a] = (sum_b Pq_c[a][b] xq_c[b]) * (sum_b Pr_c[a][b] xr_c[b]).
+// Tip children supply a single category-independent 0/1 vector.
+func newviewPatternGeneric(dst, xq, xr []float64, qTip, rTip bool, pmQ, pmR []float64, cats, s int) {
+	ss := s * s
+	for c := 0; c < cats; c++ {
+		pq := pmQ[c*ss : (c+1)*ss]
+		pr := pmR[c*ss : (c+1)*ss]
+		cq := xq
+		if !qTip {
+			cq = xq[c*s : (c+1)*s]
+		}
+		cr := xr
+		if !rTip {
+			cr = xr[c*s : (c+1)*s]
+		}
+		d := dst[c*s : (c+1)*s]
+		for a := 0; a < s; a++ {
+			row := a * s
+			sq, sr := 0.0, 0.0
+			for b := 0; b < s; b++ {
+				sq += pq[row+b] * cq[b]
+				sr += pr[row+b] * cr[b]
+			}
+			d[a] = sq * sr
+		}
+	}
+}
+
+// newviewPattern4 is the unrolled 4-state (DNA) kernel.
+func newviewPattern4(dst, xq, xr []float64, qTip, rTip bool, pmQ, pmR []float64, cats int) {
+	for c := 0; c < cats; c++ {
+		pq := pmQ[c*16 : c*16+16]
+		pr := pmR[c*16 : c*16+16]
+		cq := xq
+		if !qTip {
+			cq = xq[c*4 : c*4+4]
+		}
+		cr := xr
+		if !rTip {
+			cr = xr[c*4 : c*4+4]
+		}
+		q0, q1, q2, q3 := cq[0], cq[1], cq[2], cq[3]
+		r0, r1, r2, r3 := cr[0], cr[1], cr[2], cr[3]
+		d := dst[c*4 : c*4+4]
+		d[0] = (pq[0]*q0 + pq[1]*q1 + pq[2]*q2 + pq[3]*q3) *
+			(pr[0]*r0 + pr[1]*r1 + pr[2]*r2 + pr[3]*r3)
+		d[1] = (pq[4]*q0 + pq[5]*q1 + pq[6]*q2 + pq[7]*q3) *
+			(pr[4]*r0 + pr[5]*r1 + pr[6]*r2 + pr[7]*r3)
+		d[2] = (pq[8]*q0 + pq[9]*q1 + pq[10]*q2 + pq[11]*q3) *
+			(pr[8]*r0 + pr[9]*r1 + pr[10]*r2 + pr[11]*r3)
+		d[3] = (pq[12]*q0 + pq[13]*q1 + pq[14]*q2 + pq[15]*q3) *
+			(pr[12]*r0 + pr[13]*r1 + pr[14]*r2 + pr[15]*r3)
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+// Weighted operation costs per pattern, in approximate multiply-add units.
+// They feed the WorkerCtx.Ops counters that (a) the virtual platform model
+// prices into runtime and (b) the statistics use to quantify load imbalance.
+// The 20-state kernels cost ~25x the 4-state ones per column, which is the
+// paper's explanation for the milder load-balance problem on protein data
+// ("roughly by a factor of 20x20/4x4=25").
+
+// opsNewview is the per-pattern cost of one newview step: two child P-matrix
+// applications (s^2 each) plus the entrywise product and scaling check.
+func opsNewview(states, cats int) float64 {
+	return float64(cats * (2*states*states + 2*states))
+}
+
+// opsEvaluate is the per-pattern cost of the root log-likelihood reduction:
+// one P application, the pi-weighted dot product, and the log.
+func opsEvaluate(states, cats int) float64 {
+	return float64(cats*(states*states+2*states) + 30)
+}
+
+// opsSumtable is the per-pattern cost of building the Newton-Raphson
+// sumtable: two eigenbasis projections per category.
+func opsSumtable(states, cats int) float64 {
+	return float64(cats * (2*states*states + states))
+}
+
+// opsDerivative is the per-pattern cost of one derivative evaluation over an
+// existing sumtable.
+func opsDerivative(states, cats int) float64 {
+	return float64(cats*states*3 + 10)
+}

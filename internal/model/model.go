@@ -1,0 +1,353 @@
+// Package model implements time-reversible substitution models for the
+// phylogenetic likelihood kernel: the general time-reversible (GTR) model for
+// DNA, 20-state models for protein data, and the discrete Gamma model of
+// among-site rate heterogeneity (Yang 1994). Transition probability matrices
+// P(t) = V exp(Lambda t) V^-1 are obtained from an eigendecomposition of the
+// symmetrized rate matrix.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"phylo/internal/alignment"
+	"phylo/internal/numeric"
+)
+
+// Bounds used by the optimizers; they match RAxML's defaults closely.
+const (
+	MinAlpha      = 0.02
+	MaxAlpha      = 100.0
+	MinRate       = 1e-4
+	MaxRate       = 1e3
+	MinBranchLen  = 1e-8
+	MaxBranchLen  = 64.0
+	DefaultAlpha  = 1.0
+	DefaultBranch = 0.1
+)
+
+// Model is the substitution model of one partition: state frequencies,
+// symmetric exchangeability rates, the Gamma shape parameter with its
+// discretized per-category rates, and the cached eigendecomposition of the
+// normalized rate matrix Q.
+type Model struct {
+	Type    alignment.DataType
+	States  int
+	Freqs   []float64 // stationary frequencies pi, length States, sum 1
+	ExRates []float64 // upper-triangular exchangeabilities, length States*(States-1)/2; the last entry is fixed at 1 (GTR convention)
+	Alpha   float64   // Gamma shape parameter
+	NumCats int       // number of discrete Gamma categories (1 = no heterogeneity)
+
+	CatRates []float64 // per-category relative rates, mean 1
+
+	// Eigendecomposition of Q (valid after UpdateEigen):
+	EigenVals []float64 // length States; one value is ~0
+	EigenVecs []float64 // V, row-major States x States
+	InvVecs   []float64 // V^-1, row-major States x States
+	dirty     bool
+}
+
+// NumExRates returns the exchangeability count for s states.
+func NumExRates(s int) int { return s * (s - 1) / 2 }
+
+// RateIndex maps an unordered state pair (i < j) onto its index in ExRates.
+func RateIndex(s, i, j int) int {
+	if i > j {
+		i, j = j, i
+	}
+	// Row-major upper triangle: pairs (0,1),(0,2)...(0,s-1),(1,2)...
+	return i*s - i*(i+1)/2 + (j - i - 1)
+}
+
+// New creates a model with the given frequencies and exchangeabilities and
+// computes its eigendecomposition. Pass nil for uniform frequencies and/or
+// all-equal exchangeabilities.
+func New(t alignment.DataType, freqs, exRates []float64, alpha float64, numCats int) (*Model, error) {
+	s := t.States()
+	if s == 0 {
+		return nil, fmt.Errorf("model: bad data type %v", t)
+	}
+	if numCats < 1 {
+		return nil, errors.New("model: need at least one rate category")
+	}
+	m := &Model{
+		Type:     t,
+		States:   s,
+		Freqs:    make([]float64, s),
+		ExRates:  make([]float64, NumExRates(s)),
+		Alpha:    alpha,
+		NumCats:  numCats,
+		CatRates: make([]float64, numCats),
+	}
+	if freqs == nil {
+		for i := range m.Freqs {
+			m.Freqs[i] = 1 / float64(s)
+		}
+	} else {
+		if len(freqs) != s {
+			return nil, fmt.Errorf("model: %d frequencies for %d states", len(freqs), s)
+		}
+		copy(m.Freqs, freqs)
+		if err := normalizeFreqs(m.Freqs); err != nil {
+			return nil, err
+		}
+	}
+	if exRates == nil {
+		for i := range m.ExRates {
+			m.ExRates[i] = 1
+		}
+	} else {
+		if len(exRates) != len(m.ExRates) {
+			return nil, fmt.Errorf("model: %d exchangeabilities for %d states", len(exRates), s)
+		}
+		copy(m.ExRates, exRates)
+		for i, r := range m.ExRates {
+			if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+				return nil, fmt.Errorf("model: exchangeability %d = %v invalid", i, r)
+			}
+		}
+	}
+	if err := m.SetAlpha(alpha); err != nil {
+		return nil, err
+	}
+	if err := m.UpdateEigen(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func normalizeFreqs(f []float64) error {
+	sum := 0.0
+	for _, v := range f {
+		if v <= 0 || math.IsNaN(v) {
+			return fmt.Errorf("model: non-positive frequency %v", v)
+		}
+		sum += v
+	}
+	for i := range f {
+		f[i] /= sum
+	}
+	return nil
+}
+
+// SetAlpha updates the Gamma shape parameter and recomputes the category
+// rates. It does not touch the eigendecomposition (alpha only scales branch
+// lengths per category).
+func (m *Model) SetAlpha(alpha float64) error {
+	if math.IsNaN(alpha) || alpha < MinAlpha || alpha > MaxAlpha {
+		return fmt.Errorf("model: alpha %v outside [%v, %v]", alpha, MinAlpha, MaxAlpha)
+	}
+	m.Alpha = alpha
+	numeric.DiscreteGammaRates(alpha, m.CatRates)
+	return nil
+}
+
+// SetExRate updates one exchangeability and marks the eigendecomposition
+// stale; call UpdateEigen before computing likelihoods.
+func (m *Model) SetExRate(idx int, v float64) error {
+	if idx < 0 || idx >= len(m.ExRates) {
+		return fmt.Errorf("model: rate index %d out of range", idx)
+	}
+	if math.IsNaN(v) || v < MinRate || v > MaxRate {
+		return fmt.Errorf("model: rate %v outside [%v, %v]", v, MinRate, MaxRate)
+	}
+	m.ExRates[idx] = v
+	m.dirty = true
+	return nil
+}
+
+// SetFreqs replaces the stationary frequencies (normalizing them) and marks
+// the eigendecomposition stale.
+func (m *Model) SetFreqs(f []float64) error {
+	if len(f) != m.States {
+		return fmt.Errorf("model: %d frequencies for %d states", len(f), m.States)
+	}
+	tmp := append([]float64(nil), f...)
+	if err := normalizeFreqs(tmp); err != nil {
+		return err
+	}
+	copy(m.Freqs, tmp)
+	m.dirty = true
+	return nil
+}
+
+// Dirty reports whether UpdateEigen must be called.
+func (m *Model) Dirty() bool { return m.dirty }
+
+// BuildQ assembles the normalized instantaneous rate matrix Q (row-major):
+// Q_ij = r_ij * pi_j for i != j, rows summing to zero, scaled so the expected
+// substitution rate at stationarity, -sum_i pi_i Q_ii, equals 1. This keeps
+// branch lengths in expected-substitutions-per-site units.
+func (m *Model) BuildQ() []float64 {
+	s := m.States
+	q := make([]float64, s*s)
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			if i == j {
+				continue
+			}
+			q[i*s+j] = m.ExRates[RateIndex(s, i, j)] * m.Freqs[j]
+		}
+	}
+	scale := 0.0
+	for i := 0; i < s; i++ {
+		row := 0.0
+		for j := 0; j < s; j++ {
+			if j != i {
+				row += q[i*s+j]
+			}
+		}
+		q[i*s+i] = -row
+		scale += m.Freqs[i] * row
+	}
+	if scale <= 0 {
+		return q
+	}
+	inv := 1 / scale
+	for k := range q {
+		q[k] *= inv
+	}
+	return q
+}
+
+// UpdateEigen recomputes the eigendecomposition of Q via symmetrization:
+// with D = diag(pi), B = D^(1/2) Q D^(-1/2) is symmetric for time-reversible
+// Q; B = R Lambda R^T yields V = D^(-1/2) R and V^-1 = R^T D^(1/2).
+func (m *Model) UpdateEigen() error {
+	s := m.States
+	q := m.BuildQ()
+	b := make([]float64, s*s)
+	sqrtPi := make([]float64, s)
+	for i := 0; i < s; i++ {
+		sqrtPi[i] = math.Sqrt(m.Freqs[i])
+	}
+	for i := 0; i < s; i++ {
+		for j := 0; j < s; j++ {
+			b[i*s+j] = sqrtPi[i] * q[i*s+j] / sqrtPi[j]
+		}
+	}
+	// Force exact symmetry against rounding before Jacobi.
+	for i := 0; i < s; i++ {
+		for j := i + 1; j < s; j++ {
+			v := 0.5 * (b[i*s+j] + b[j*s+i])
+			b[i*s+j] = v
+			b[j*s+i] = v
+		}
+	}
+	vals, r, err := numeric.JacobiEigen(b, s)
+	if err != nil {
+		return fmt.Errorf("model: eigendecomposition failed: %w", err)
+	}
+	m.EigenVals = vals
+	m.EigenVecs = make([]float64, s*s)
+	m.InvVecs = make([]float64, s*s)
+	for i := 0; i < s; i++ {
+		for k := 0; k < s; k++ {
+			m.EigenVecs[i*s+k] = r[i*s+k] / sqrtPi[i]
+			m.InvVecs[k*s+i] = r[i*s+k] * sqrtPi[i]
+		}
+	}
+	m.dirty = false
+	return nil
+}
+
+// PMatrix fills dst (len States*States, row-major) with the transition
+// probability matrix P(t) = V exp(Lambda*t) V^-1 for branch length t
+// (already scaled by the rate category, if any).
+func (m *Model) PMatrix(t float64, dst []float64) {
+	s := m.States
+	if t < 0 {
+		t = 0
+	}
+	expl := make([]float64, s)
+	for k := 0; k < s; k++ {
+		expl[k] = math.Exp(m.EigenVals[k] * t)
+	}
+	for i := 0; i < s; i++ {
+		vrow := m.EigenVecs[i*s : (i+1)*s]
+		drow := dst[i*s : (i+1)*s]
+		for j := 0; j < s; j++ {
+			sum := 0.0
+			for k := 0; k < s; k++ {
+				sum += vrow[k] * expl[k] * m.InvVecs[k*s+j]
+			}
+			// Clamp tiny negative values from rounding; they would otherwise
+			// inject negative likelihood contributions.
+			if sum < 0 {
+				sum = 0
+			}
+			drow[j] = sum
+		}
+	}
+}
+
+// PMatrices fills dst (len NumCats*States*States) with one P matrix per
+// Gamma category for branch length t: P_c = P(catRate_c * t).
+func (m *Model) PMatrices(t float64, dst []float64) {
+	ss := m.States * m.States
+	for c := 0; c < m.NumCats; c++ {
+		m.PMatrix(m.CatRates[c]*t, dst[c*ss:(c+1)*ss])
+	}
+}
+
+// Clone returns a deep copy (used by tree-search checkpointing and by
+// per-partition model replication).
+func (m *Model) Clone() *Model {
+	c := &Model{
+		Type:    m.Type,
+		States:  m.States,
+		Alpha:   m.Alpha,
+		NumCats: m.NumCats,
+		dirty:   m.dirty,
+	}
+	c.Freqs = append([]float64(nil), m.Freqs...)
+	c.ExRates = append([]float64(nil), m.ExRates...)
+	c.CatRates = append([]float64(nil), m.CatRates...)
+	c.EigenVals = append([]float64(nil), m.EigenVals...)
+	c.EigenVecs = append([]float64(nil), m.EigenVecs...)
+	c.InvVecs = append([]float64(nil), m.InvVecs...)
+	return c
+}
+
+// EmpiricalFreqs estimates stationary frequencies from the observed state
+// counts of a compressed partition (gaps and ambiguity codes distribute
+// fractionally over their compatible states, as in RAxML's empirical base
+// frequency estimator).
+func EmpiricalFreqs(p *alignment.CompressedPartition) []float64 {
+	s := p.Type.States()
+	counts := make([]float64, s)
+	for t := range p.Tips {
+		for i, code := range p.Tips[t] {
+			vec := alignment.TipVector(p.Type, code)
+			n := 0.0
+			for _, v := range vec {
+				n += v
+			}
+			if n == 0 {
+				continue
+			}
+			w := p.Weights[i] / n
+			for st, v := range vec {
+				if v != 0 {
+					counts[st] += w
+				}
+			}
+		}
+	}
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		for i := range counts {
+			counts[i] = 1 / float64(s)
+		}
+		return counts
+	}
+	for i := range counts {
+		// Pseudocount floor keeps frequencies strictly positive.
+		counts[i] = (counts[i] + 0.1) / (total + 0.1*float64(s))
+	}
+	return counts
+}

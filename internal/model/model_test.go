@@ -1,0 +1,389 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"phylo/internal/alignment"
+)
+
+func TestRateIndex(t *testing.T) {
+	// 4 states: (0,1)=0 (0,2)=1 (0,3)=2 (1,2)=3 (1,3)=4 (2,3)=5.
+	wants := map[[2]int]int{
+		{0, 1}: 0, {0, 2}: 1, {0, 3}: 2, {1, 2}: 3, {1, 3}: 4, {2, 3}: 5,
+	}
+	for pair, want := range wants {
+		if got := RateIndex(4, pair[0], pair[1]); got != want {
+			t.Errorf("RateIndex(4,%d,%d) = %d, want %d", pair[0], pair[1], got, want)
+		}
+		if got := RateIndex(4, pair[1], pair[0]); got != want {
+			t.Errorf("RateIndex symmetric (%d,%d) = %d, want %d", pair[1], pair[0], got, want)
+		}
+	}
+	// All 20-state indices are distinct and in range.
+	seen := make(map[int]bool)
+	for i := 0; i < 20; i++ {
+		for j := i + 1; j < 20; j++ {
+			idx := RateIndex(20, i, j)
+			if idx < 0 || idx >= NumExRates(20) || seen[idx] {
+				t.Fatalf("RateIndex(20,%d,%d) = %d invalid or duplicate", i, j, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestJC69ClosedForm(t *testing.T) {
+	m, err := JC69(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]float64, 16)
+	for _, bl := range []float64{0, 0.01, 0.1, 0.5, 1, 3} {
+		m.PMatrix(bl, p)
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				want := JC69Prob(i, j, bl)
+				if math.Abs(p[i*4+j]-want) > 1e-12 {
+					t.Errorf("bl=%v P[%d][%d] = %v, want %v", bl, i, j, p[i*4+j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestPMatrixStochastic(t *testing.T) {
+	models := map[string]*Model{}
+	if m, err := GTR([]float64{0.3, 0.2, 0.25, 0.25}, []float64{1.2, 2.5, 0.7, 1.1, 3.9, 1}, 4, 0.7); err == nil {
+		models["GTR"] = m
+	} else {
+		t.Fatal(err)
+	}
+	if m, err := SYN20(4, 0.5); err == nil {
+		models["SYN20"] = m
+	} else {
+		t.Fatal(err)
+	}
+	if m, err := HKY85([]float64{0.4, 0.1, 0.2, 0.3}, 4, 2, 1.2); err == nil {
+		models["HKY"] = m
+	} else {
+		t.Fatal(err)
+	}
+	for name, m := range models {
+		s := m.States
+		p := make([]float64, s*s)
+		for _, bl := range []float64{0, 0.001, 0.05, 0.5, 2, 10} {
+			m.PMatrix(bl, p)
+			for i := 0; i < s; i++ {
+				row := 0.0
+				for j := 0; j < s; j++ {
+					if p[i*s+j] < 0 || p[i*s+j] > 1+1e-12 {
+						t.Errorf("%s bl=%v: P[%d][%d] = %v outside [0,1]", name, bl, i, j, p[i*s+j])
+					}
+					row += p[i*s+j]
+				}
+				if math.Abs(row-1) > 1e-10 {
+					t.Errorf("%s bl=%v: row %d sums to %v", name, bl, i, row)
+				}
+			}
+		}
+		// P(0) = I.
+		m.PMatrix(0, p)
+		for i := 0; i < s; i++ {
+			for j := 0; j < s; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(p[i*s+j]-want) > 1e-10 {
+					t.Errorf("%s: P(0)[%d][%d] = %v", name, i, j, p[i*s+j])
+				}
+			}
+		}
+		// Detailed balance: pi_i P_ij(t) = pi_j P_ji(t).
+		m.PMatrix(0.37, p)
+		for i := 0; i < s; i++ {
+			for j := 0; j < s; j++ {
+				lhs := m.Freqs[i] * p[i*s+j]
+				rhs := m.Freqs[j] * p[j*s+i]
+				if math.Abs(lhs-rhs) > 1e-12 {
+					t.Errorf("%s: detailed balance (%d,%d): %v vs %v", name, i, j, lhs, rhs)
+				}
+			}
+		}
+		// P(t) -> stationary distribution as t -> inf.
+		m.PMatrix(500, p)
+		for i := 0; i < s; i++ {
+			for j := 0; j < s; j++ {
+				if math.Abs(p[i*s+j]-m.Freqs[j]) > 1e-6 {
+					t.Errorf("%s: P(inf)[%d][%d] = %v, want pi_j = %v", name, i, j, p[i*s+j], m.Freqs[j])
+				}
+			}
+		}
+	}
+}
+
+func TestQNormalization(t *testing.T) {
+	m, err := GTR([]float64{0.35, 0.15, 0.2, 0.3}, []float64{0.5, 2, 1.5, 0.8, 3, 1}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.BuildQ()
+	rate := 0.0
+	for i := 0; i < 4; i++ {
+		rowSum := 0.0
+		for j := 0; j < 4; j++ {
+			rowSum += q[i*4+j]
+		}
+		if math.Abs(rowSum) > 1e-12 {
+			t.Errorf("Q row %d sums to %v", i, rowSum)
+		}
+		rate -= m.Freqs[i] * q[i*4+i]
+	}
+	if math.Abs(rate-1) > 1e-12 {
+		t.Errorf("expected substitution rate = %v, want 1", rate)
+	}
+	// Eigenvalues: one zero, rest negative.
+	zero, neg := 0, 0
+	for _, v := range m.EigenVals {
+		switch {
+		case math.Abs(v) < 1e-10:
+			zero++
+		case v < 0:
+			neg++
+		}
+	}
+	if zero != 1 || neg != 3 {
+		t.Errorf("eigenvalues %v: want exactly one zero, rest negative", m.EigenVals)
+	}
+}
+
+func TestSetAlphaRates(t *testing.T) {
+	m, err := JC69(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetAlpha(0.5); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, r := range m.CatRates {
+		sum += r
+	}
+	if math.Abs(sum/4-1) > 1e-9 {
+		t.Errorf("category rates mean %v, want 1", sum/4)
+	}
+	if err := m.SetAlpha(0.001); err == nil {
+		t.Error("expected error below MinAlpha")
+	}
+	if err := m.SetAlpha(1e9); err == nil {
+		t.Error("expected error above MaxAlpha")
+	}
+}
+
+func TestSettersAndDirty(t *testing.T) {
+	m, err := GTR(nil, nil, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dirty() {
+		t.Error("fresh model must not be dirty")
+	}
+	if err := m.SetExRate(0, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Dirty() {
+		t.Error("SetExRate must mark dirty")
+	}
+	if err := m.UpdateEigen(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Dirty() {
+		t.Error("UpdateEigen must clear dirty")
+	}
+	if err := m.SetExRate(99, 1); err == nil {
+		t.Error("expected error for bad rate index")
+	}
+	if err := m.SetExRate(0, -1); err == nil {
+		t.Error("expected error for negative rate")
+	}
+	if err := m.SetFreqs([]float64{0.7, 0.1, 0.1, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Dirty() {
+		t.Error("SetFreqs must mark dirty")
+	}
+	if err := m.SetFreqs([]float64{1, 2}); err == nil {
+		t.Error("expected error for wrong frequency count")
+	}
+	if err := m.SetFreqs([]float64{-1, 1, 1, 1}); err == nil {
+		t.Error("expected error for negative frequency")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(alignment.DNA, []float64{1, 2, 3}, nil, 1, 4); err == nil {
+		t.Error("expected error for 3 freqs")
+	}
+	if _, err := New(alignment.DNA, nil, []float64{1, 2}, 1, 4); err == nil {
+		t.Error("expected error for 2 exchangeabilities")
+	}
+	if _, err := New(alignment.DNA, nil, []float64{1, 1, 1, 1, 1, -2}, 1, 4); err == nil {
+		t.Error("expected error for negative exchangeability")
+	}
+	if _, err := New(alignment.DNA, nil, nil, 1, 0); err == nil {
+		t.Error("expected error for 0 categories")
+	}
+	if _, err := New(alignment.DataType(99), nil, nil, 1, 4); err == nil {
+		t.Error("expected error for unknown data type")
+	}
+	if _, err := HKY85(nil, -2, 1, 1); err == nil {
+		t.Error("expected error for negative kappa")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m, err := GTR([]float64{0.3, 0.2, 0.25, 0.25}, nil, 4, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clone()
+	c.Freqs[0] = 0.99
+	c.ExRates[0] = 42
+	c.CatRates[0] = 42
+	if m.Freqs[0] == 0.99 || m.ExRates[0] == 42 || m.CatRates[0] == 42 {
+		t.Error("Clone must deep-copy parameter slices")
+	}
+}
+
+func TestEmpiricalFreqs(t *testing.T) {
+	a, err := alignment.New(
+		[]string{"t1", "t2", "t3"},
+		[][]byte{[]byte("AAAC"), []byte("AACG"), []byte("AA-T")},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := alignment.Compress(a, alignment.SinglePartition(a, alignment.DNA, ""), alignment.CompressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := EmpiricalFreqs(d.Parts[0])
+	sum := 0.0
+	for _, v := range f {
+		if v <= 0 {
+			t.Errorf("empirical frequency %v not positive", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("frequencies sum to %v", sum)
+	}
+	if !(f[0] > f[1] && f[0] > f[2] && f[0] > f[3]) {
+		t.Errorf("A dominates the data but freqs are %v", f)
+	}
+}
+
+func TestByNameAndDefaults(t *testing.T) {
+	a, _ := alignment.New(
+		[]string{"t1", "t2", "t3"},
+		[][]byte{[]byte("ACGT"), []byte("ACGT"), []byte("ACGT")},
+	)
+	d, _ := alignment.Compress(a, alignment.SinglePartition(a, alignment.DNA, ""), alignment.CompressOptions{})
+	for _, name := range []string{"JC", "GTR", "DNA", "WAG", "SYN20", "POISSON"} {
+		m, err := ByName(name, d.Parts[0], 4, 1)
+		if err != nil || m == nil {
+			t.Errorf("ByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := ByName("NOPE", nil, 4, 1); err == nil {
+		t.Error("expected error for unknown name")
+	}
+	m, err := DefaultFor(d.Parts[0], 4, 1)
+	if err != nil || m.Type != alignment.DNA {
+		t.Errorf("DefaultFor DNA failed: %v", err)
+	}
+}
+
+func TestSyn20Deterministic(t *testing.T) {
+	a, err := SYN20(4, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SYN20(4, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.ExRates {
+		if a.ExRates[i] != b.ExRates[i] {
+			t.Fatal("SYN20 must be deterministic")
+		}
+	}
+	// The rate distribution must be heterogeneous (dynamic range > 20x).
+	min, max := a.ExRates[0], a.ExRates[0]
+	for _, r := range a.ExRates {
+		min = math.Min(min, r)
+		max = math.Max(max, r)
+	}
+	if max/min < 20 {
+		t.Errorf("SYN20 dynamic range %v too small to mimic empirical matrices", max/min)
+	}
+}
+
+// Property: random GTR models yield valid stochastic P matrices.
+func TestPMatrixQuickProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		freqs := make([]float64, 4)
+		for i := range freqs {
+			freqs[i] = 0.05 + rng.Float64()
+		}
+		ex := make([]float64, 6)
+		for i := range ex {
+			ex[i] = 0.05 + 3*rng.Float64()
+		}
+		m, err := GTR(freqs, ex, 4, 0.2+3*rng.Float64())
+		if err != nil {
+			return false
+		}
+		p := make([]float64, 16)
+		bl := rng.Float64() * 5
+		m.PMatrix(bl, p)
+		for i := 0; i < 4; i++ {
+			row := 0.0
+			for j := 0; j < 4; j++ {
+				if p[i*4+j] < 0 {
+					return false
+				}
+				row += p[i*4+j]
+			}
+			if math.Abs(row-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPMatricesPerCategory(t *testing.T) {
+	m, err := JC69(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 4*16)
+	m.PMatrices(0.1, dst)
+	single := make([]float64, 16)
+	for c := 0; c < 4; c++ {
+		m.PMatrix(m.CatRates[c]*0.1, single)
+		for k := 0; k < 16; k++ {
+			if dst[c*16+k] != single[k] {
+				t.Fatalf("category %d entry %d mismatch", c, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"phylo/internal/alignment"
+)
+
+// JC69 returns the Jukes-Cantor model (uniform frequencies, equal rates).
+// Its closed-form transition probabilities make it the reference model for
+// validating the eigendecomposition machinery.
+func JC69(numCats int, alpha float64) (*Model, error) {
+	return New(alignment.DNA, nil, nil, alpha, numCats)
+}
+
+// JC69Prob is the closed-form Jukes-Cantor transition probability between
+// states i and j after branch length t (in expected substitutions per site).
+func JC69Prob(i, j int, t float64) float64 {
+	e := math.Exp(-4.0 / 3.0 * t)
+	if i == j {
+		return 0.25 + 0.75*e
+	}
+	return 0.25 - 0.25*e
+}
+
+// HKY85 returns the Hasegawa-Kishino-Yano model with transition/transversion
+// ratio kappa and the given base frequencies (nil for uniform).
+func HKY85(freqs []float64, kappa float64, numCats int, alpha float64) (*Model, error) {
+	if kappa <= 0 {
+		return nil, fmt.Errorf("model: kappa %v must be positive", kappa)
+	}
+	s := 4
+	ex := make([]float64, NumExRates(s))
+	for i := range ex {
+		ex[i] = 1
+	}
+	// Transitions: A<->G (0,2) and C<->T (1,3).
+	ex[RateIndex(s, 0, 2)] = kappa
+	ex[RateIndex(s, 1, 3)] = kappa
+	return New(alignment.DNA, freqs, ex, alpha, numCats)
+}
+
+// GTR returns a general time-reversible DNA model with explicit parameters.
+func GTR(freqs, exRates []float64, numCats int, alpha float64) (*Model, error) {
+	return New(alignment.DNA, freqs, exRates, alpha, numCats)
+}
+
+// syn20ExRates builds the deterministic synthetic 20-state exchangeability
+// matrix "SYN20". The paper's protein runs use empirical matrices (WAG etc.);
+// per DESIGN.md the reproduction only needs a valid, fixed, heterogeneous
+// time-reversible 20-state model, because the load-balance behaviour depends
+// on the 20x20 FLOP cost, not on the biological rate values. The generator is
+// a small multiplicative congruential sequence mapped into [0.02, 8] with a
+// heavy right tail, which mimics the dynamic range of WAG.
+func syn20ExRates() []float64 {
+	n := NumExRates(20)
+	rates := make([]float64, n)
+	state := uint64(88172645463325252)
+	for i := 0; i < n; i++ {
+		// xorshift64
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		u := float64(state%1000000) / 1000000.0
+		rates[i] = 0.02 + 8*u*u*u // cubic skew: many small rates, few large
+	}
+	rates[n-1] = 1 // GTR normalization convention
+	return rates
+}
+
+// syn20Freqs builds the matching deterministic frequency vector, spanning the
+// 1.5%..9% range typical of empirical amino-acid frequency sets.
+func syn20Freqs() []float64 {
+	f := make([]float64, 20)
+	state := uint64(424242424242)
+	sum := 0.0
+	for i := range f {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		f[i] = 0.015 + 0.075*float64(state%1000)/1000.0
+		sum += f[i]
+	}
+	for i := range f {
+		f[i] /= sum
+	}
+	return f
+}
+
+// SYN20 returns the synthetic fixed 20-state protein model (see DESIGN.md,
+// substitution #3).
+func SYN20(numCats int, alpha float64) (*Model, error) {
+	return New(alignment.AA, syn20Freqs(), syn20ExRates(), alpha, numCats)
+}
+
+// Poisson20 returns the 20-state equal-rates model (the protein analogue of
+// Jukes-Cantor), mainly used by tests.
+func Poisson20(numCats int, alpha float64) (*Model, error) {
+	return New(alignment.AA, nil, nil, alpha, numCats)
+}
+
+// ByName constructs a model from a partition-file model name, optionally
+// seeding frequencies empirically from data.
+func ByName(name string, part *alignment.CompressedPartition, numCats int, alpha float64) (*Model, error) {
+	upper := strings.ToUpper(name)
+	switch {
+	case upper == "JC" || upper == "JC69":
+		return JC69(numCats, alpha)
+	case upper == "DNA" || upper == "GTR" || strings.HasPrefix(upper, "GTR"):
+		var freqs []float64
+		if part != nil {
+			freqs = EmpiricalFreqs(part)
+		}
+		return GTR(freqs, nil, numCats, alpha)
+	case upper == "SYN20" || upper == "WAG" || upper == "JTT" || upper == "LG" ||
+		upper == "DAYHOFF" || strings.HasPrefix(upper, "PROT"):
+		return SYN20(numCats, alpha)
+	case upper == "POISSON" || upper == "AA":
+		return Poisson20(numCats, alpha)
+	default:
+		return nil, fmt.Errorf("model: unknown model name %q", name)
+	}
+}
+
+// DefaultFor builds the default model for a partition: GTR with empirical
+// frequencies for DNA, SYN20 for protein.
+func DefaultFor(part *alignment.CompressedPartition, numCats int, alpha float64) (*Model, error) {
+	if part.Type == alignment.DNA {
+		return GTR(EmpiricalFreqs(part), nil, numCats, alpha)
+	}
+	return SYN20(numCats, alpha)
+}

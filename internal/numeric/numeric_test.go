@@ -1,0 +1,392 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestJacobiEigenIdentity(t *testing.T) {
+	n := 4
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = 1
+	}
+	vals, vecs, err := JacobiEigen(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if math.Abs(v-1) > 1e-14 {
+			t.Errorf("eigenvalue %d = %v, want 1", i, v)
+		}
+	}
+	// Eigenvectors must be orthonormal.
+	checkOrthonormal(t, vecs, n)
+}
+
+func TestJacobiEigenKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 1 and 3.
+	a := []float64{2, 1, 1, 2}
+	vals, _, err := JacobiEigen(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-12 || math.Abs(vals[1]-3) > 1e-12 {
+		t.Errorf("got eigenvalues %v, want [1 3]", vals)
+	}
+}
+
+func TestJacobiEigenReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{3, 4, 8, 20} {
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				a[i*n+j] = v
+				a[j*n+i] = v
+			}
+		}
+		vals, vecs, err := JacobiEigen(a, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		checkOrthonormal(t, vecs, n)
+		// Reconstruct V diag(vals) V^T and compare.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += vecs[i*n+k] * vals[k] * vecs[j*n+k]
+				}
+				if math.Abs(s-a[i*n+j]) > 1e-9 {
+					t.Fatalf("n=%d: reconstruction (%d,%d) = %v, want %v", n, i, j, s, a[i*n+j])
+				}
+			}
+		}
+		// Eigenvalues sorted ascending.
+		for k := 1; k < n; k++ {
+			if vals[k] < vals[k-1] {
+				t.Fatalf("n=%d: eigenvalues not sorted: %v", n, vals)
+			}
+		}
+	}
+}
+
+func TestJacobiEigenRejectsAsymmetric(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if _, _, err := JacobiEigen(a, 2); err == nil {
+		t.Fatal("expected error for asymmetric input")
+	}
+	if _, _, err := JacobiEigen([]float64{1, 2}, 2); err == nil {
+		t.Fatal("expected error for bad length")
+	}
+}
+
+func checkOrthonormal(t *testing.T, v []float64, n int) {
+	t.Helper()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			dot := 0.0
+			for i := 0; i < n; i++ {
+				dot += v[i*n+a] * v[i*n+b]
+			}
+			want := 0.0
+			if a == b {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-10 {
+				t.Fatalf("eigenvector columns %d,%d: dot = %v, want %v", a, b, dot, want)
+			}
+		}
+	}
+}
+
+func TestMatVecMatMulTranspose(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	x := []float64{1, 1}
+	y := MatVec(a, x, 2)
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MatVec = %v, want [3 7]", y)
+	}
+	c := MatMul(a, a, 2)
+	want := []float64{7, 10, 15, 22}
+	for i := range want {
+		if c[i] != want[i] {
+			t.Errorf("MatMul[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+	tr := Transpose(a, 2)
+	if tr[0] != 1 || tr[1] != 3 || tr[2] != 2 || tr[3] != 4 {
+		t.Errorf("Transpose = %v", tr)
+	}
+}
+
+func TestIncompleteGammaKnownValues(t *testing.T) {
+	// P(1, x) = 1 - e^-x.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		got := IncompleteGammaP(1, x)
+		want := 1 - math.Exp(-x)
+		if math.Abs(got-want) > 1e-13 {
+			t.Errorf("P(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// P(a, 0) = 0, P(a, inf) = 1.
+	if IncompleteGammaP(2.5, 0) != 0 {
+		t.Error("P(a,0) != 0")
+	}
+	if IncompleteGammaP(2.5, math.Inf(1)) != 1 {
+		t.Error("P(a,inf) != 1")
+	}
+	// P(0.5, x) = erf(sqrt(x)).
+	for _, x := range []float64{0.01, 0.25, 1, 4} {
+		got := IncompleteGammaP(0.5, x)
+		want := math.Erf(math.Sqrt(x))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(0.5,%v) = %v, want erf=%v", x, got, want)
+		}
+	}
+	// Q = 1 - P across the series/fraction switchover.
+	for _, a := range []float64{0.3, 1.7, 8, 80} {
+		for _, x := range []float64{0.2, a, a + 2, 3 * a} {
+			p, q := IncompleteGammaP(a, x), IncompleteGammaQ(a, x)
+			if math.Abs(p+q-1) > 1e-12 {
+				t.Errorf("P+Q != 1 at a=%v x=%v: %v", a, x, p+q)
+			}
+		}
+	}
+	if !math.IsNaN(IncompleteGammaP(-1, 1)) || !math.IsNaN(IncompleteGammaP(1, -1)) {
+		t.Error("expected NaN for invalid arguments")
+	}
+}
+
+func TestGammaQuantileRoundTrip(t *testing.T) {
+	for _, shape := range []float64{0.05, 0.3, 0.5, 1, 2.7, 10, 100} {
+		for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+			x := GammaQuantile(p, shape)
+			back := IncompleteGammaP(shape, x)
+			if math.Abs(back-p) > 1e-10 {
+				t.Errorf("shape=%v p=%v: quantile=%v, P(quantile)=%v", shape, p, x, back)
+			}
+		}
+	}
+	if GammaQuantile(0, 1) != 0 {
+		t.Error("quantile at p=0 should be 0")
+	}
+	if !math.IsInf(GammaQuantile(1, 1), 1) {
+		t.Error("quantile at p=1 should be +inf")
+	}
+	// Exponential special case: quantile(p, 1) = -ln(1-p).
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		got := GammaQuantile(p, 1)
+		want := -math.Log(1 - p)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("exponential quantile p=%v: got %v want %v", p, got, want)
+		}
+	}
+}
+
+func TestDiscreteGammaRatesMeanOne(t *testing.T) {
+	for _, alpha := range []float64{0.05, 0.2, 0.5, 1, 2, 5, 50} {
+		for _, k := range []int{1, 2, 4, 8} {
+			rates := make([]float64, k)
+			DiscreteGammaRates(alpha, rates)
+			sum := 0.0
+			for i, r := range rates {
+				if r <= 0 {
+					t.Fatalf("alpha=%v k=%d: non-positive rate %v", alpha, k, r)
+				}
+				if i > 0 && rates[i] < rates[i-1] {
+					t.Fatalf("alpha=%v k=%d: rates not monotone: %v", alpha, k, rates)
+				}
+				sum += r
+			}
+			if math.Abs(sum/float64(k)-1) > 1e-9 {
+				t.Errorf("alpha=%v k=%d: mean = %v, want 1", alpha, k, sum/float64(k))
+			}
+		}
+	}
+}
+
+func TestDiscreteGammaRatesLimits(t *testing.T) {
+	// Large alpha: rates approach 1 (homogeneous).
+	rates := make([]float64, 4)
+	DiscreteGammaRates(500, rates)
+	for _, r := range rates {
+		if math.Abs(r-1) > 0.1 {
+			t.Errorf("alpha=500: rate %v should be near 1", r)
+		}
+	}
+	// Small alpha: strong heterogeneity, lowest category near 0.
+	DiscreteGammaRates(0.1, rates)
+	if rates[0] > 0.01 {
+		t.Errorf("alpha=0.1: lowest rate %v should be near 0", rates[0])
+	}
+	if rates[3] < 2 {
+		t.Errorf("alpha=0.1: highest rate %v should be large", rates[3])
+	}
+	// Known reference values for alpha = 0.5, k = 4 (Yang 1994 Table; widely
+	// reproduced): approximately {0.0334, 0.2519, 0.8203, 2.8944}.
+	DiscreteGammaRates(0.5, rates)
+	want := []float64{0.0334, 0.2519, 0.8203, 2.8944}
+	for i := range want {
+		if math.Abs(rates[i]-want[i]) > 5e-4 {
+			t.Errorf("alpha=0.5 rate[%d] = %v, want ~%v", i, rates[i], want[i])
+		}
+	}
+}
+
+func TestBrentMinimizeQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 3.25) * (x - 3.25) }
+	res := BrentMinimize(f, 0, 1, 10, 1e-10, 100)
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(res.X-3.25) > 1e-6 {
+		t.Errorf("minimum at %v, want 3.25", res.X)
+	}
+}
+
+func TestBrentMinimizeHard(t *testing.T) {
+	// Asymmetric function with minimum at x = 2: f = x + 4/x, f' = 1 - 4/x^2.
+	f := func(x float64) float64 { return x + 4/x }
+	res := BrentMinimize(f, 0.001, 0.01, 100, 1e-12, 200)
+	if !res.Converged || math.Abs(res.X-2) > 1e-6 {
+		t.Errorf("got x=%v converged=%v, want 2", res.X, res.Converged)
+	}
+	// Minimum at a boundary.
+	g := func(x float64) float64 { return x }
+	res = BrentMinimize(g, 1, 5, 10, 1e-9, 200)
+	if math.Abs(res.X-1) > 1e-6 {
+		t.Errorf("boundary minimum: got %v, want 1", res.X)
+	}
+}
+
+func TestBrentStateMatchesDriver(t *testing.T) {
+	f := func(x float64) float64 { return math.Cos(x) + 0.1*x }
+	st := NewBrentState(0, 2, 6, 1e-10)
+	st.Seed(f(2))
+	iter := 0
+	for {
+		x, done := st.Next()
+		if done {
+			break
+		}
+		st.Observe(x, f(x))
+		iter++
+		if iter > 500 {
+			t.Fatal("BrentState failed to converge")
+		}
+	}
+	// d/dx (cos x + 0.1 x) = -sin x + 0.1 = 0 -> x = pi - asin(0.1) in [2,6].
+	want := math.Pi - math.Asin(0.1)
+	if math.Abs(st.X-want) > 1e-6 {
+		t.Errorf("minimum at %v, want %v", st.X, want)
+	}
+}
+
+func TestBrentPanicsOnMisuse(t *testing.T) {
+	st := NewBrentState(0, 1, 2, 1e-8)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Next before Seed should panic")
+			}
+		}()
+		st.Next()
+	}()
+	st.Seed(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Observe without pending Next should panic")
+			}
+		}()
+		st.Observe(1, 1)
+	}()
+}
+
+func TestNewtonStateConcave(t *testing.T) {
+	// Maximize -(x-1.5)^2: d1 = -2(x-1.5), d2 = -2. One Newton step suffices.
+	st := NewNewtonState(0.1, 1e-8, 100, 1e-10)
+	for i := 0; i < 50 && !st.Converged; i++ {
+		x := st.Point()
+		st.Observe(-2*(x-1.5), -2)
+	}
+	if !st.Converged || math.Abs(st.X-1.5) > 1e-8 {
+		t.Errorf("x=%v converged=%v, want 1.5", st.X, st.Converged)
+	}
+}
+
+func TestNewtonStateBoundary(t *testing.T) {
+	// Monotonically increasing objective: should pin at Max and converge.
+	st := NewNewtonState(1, 1e-8, 8, 1e-10)
+	for i := 0; i < 100 && !st.Converged; i++ {
+		st.Observe(1, -0.0) // positive gradient, flat curvature -> uphill moves
+	}
+	if !st.Converged || st.X != 8 {
+		t.Errorf("x=%v converged=%v, want pinned at 8", st.X, st.Converged)
+	}
+	// Monotonically decreasing: pins at Min.
+	st = NewNewtonState(1, 1e-6, 8, 1e-10)
+	for i := 0; i < 100 && !st.Converged; i++ {
+		st.Observe(-1, 0)
+	}
+	if !st.Converged || st.X != 1e-6 {
+		t.Errorf("x=%v converged=%v, want pinned at 1e-6", st.X, st.Converged)
+	}
+}
+
+func TestNewtonStateNaNRecovery(t *testing.T) {
+	st := NewNewtonState(4, 1e-8, 100, 1e-10)
+	st.Observe(math.NaN(), math.NaN())
+	if st.X >= 4 {
+		t.Errorf("NaN derivatives should shrink x, got %v", st.X)
+	}
+	if st.Converged {
+		t.Error("should not converge on NaN")
+	}
+}
+
+// Property: for random concave quadratics the Newton state converges to the
+// clamped optimum.
+func TestNewtonStateQuickProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		opt := 0.01 + 10*rng.Float64()
+		curv := -(0.1 + 5*rng.Float64())
+		st := NewNewtonState(0.5, 1e-8, 50, 1e-12)
+		for i := 0; i < 200 && !st.Converged; i++ {
+			x := st.Point()
+			st.Observe(curv*(x-opt), curv)
+		}
+		return st.Converged && math.Abs(st.X-opt) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gamma quantile is monotone in p.
+func TestGammaQuantileMonotoneQuick(t *testing.T) {
+	f := func(a, b uint8, shapeBits uint8) bool {
+		p1 := (float64(a) + 1) / 258
+		p2 := (float64(b) + 1) / 258
+		shape := 0.05 + float64(shapeBits)/16
+		q1 := GammaQuantile(p1, shape)
+		q2 := GammaQuantile(p2, shape)
+		if p1 == p2 {
+			return q1 == q2
+		}
+		if p1 > p2 {
+			p1, p2 = p2, p1
+			q1, q2 = q2, q1
+		}
+		return q1 <= q2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

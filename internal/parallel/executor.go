@@ -1,0 +1,119 @@
+// Package parallel implements the fine-grained parallel runtime of the
+// likelihood kernel, mirroring the Pthreads design of RAxML described in the
+// paper: m' alignment patterns are distributed cyclically over workers, a
+// master thread issues typed parallel regions (newview, evaluate, derivative
+// computation, ...), and every region ends in a barrier, which is the
+// synchronization cost the paper's newPAR strategy amortizes.
+//
+// Three executors share one interface:
+//
+//   - Sequential: a single worker, no synchronization (baseline runs).
+//   - Pool: persistent worker goroutines with channel fan-out and a barrier
+//     (real wall-clock parallelism).
+//   - Sim: T *virtual* workers executed serially while a virtual clock
+//     advances by max-per-worker cost plus a platform-dependent barrier cost;
+//     this reproduces the paper's 8- and 16-core platforms on any host (see
+//     DESIGN.md, substitution #1).
+package parallel
+
+// Region identifies the kind of a parallel region; the engine tags every Run
+// call so the statistics can attribute synchronization counts the way the
+// paper discusses them (branch-length work vs model optimization work).
+type Region int
+
+// Region kinds, mirroring RAxML's thread command opcodes.
+const (
+	RegionNewview Region = iota
+	RegionEvaluate
+	RegionSumTable
+	RegionDerivative
+	RegionRateEval
+	RegionOther
+	numRegionKinds
+)
+
+// String names the region kind.
+func (r Region) String() string {
+	switch r {
+	case RegionNewview:
+		return "newview"
+	case RegionEvaluate:
+		return "evaluate"
+	case RegionSumTable:
+		return "sumtable"
+	case RegionDerivative:
+		return "derivative"
+	case RegionRateEval:
+		return "rate-eval"
+	default:
+		return "other"
+	}
+}
+
+// WorkerCtx carries per-worker instrumentation. Kernels add their weighted
+// operation counts (roughly: floating-point multiply-adds) to Ops; the
+// simulator turns them into virtual time, the pool merely accumulates them
+// for reporting. The padding avoids false sharing between workers.
+type WorkerCtx struct {
+	Worker int
+	Ops    float64
+	_      [48]byte // pad to a cache line
+}
+
+// Executor runs parallel regions over a fixed set of workers.
+type Executor interface {
+	// Threads returns the worker count T.
+	Threads() int
+	// Run executes fn once per worker (ids 0..T-1) and returns after all
+	// workers finish (the barrier).
+	Run(kind Region, fn func(w int, ctx *WorkerCtx))
+	// Stats exposes accumulated instrumentation.
+	Stats() *Stats
+	// Close releases worker resources; the executor must not be used after.
+	Close()
+}
+
+// StrideStart returns the first global pattern index >= lo owned by worker w
+// under cyclic distribution over t workers. Iterate with step t.
+func StrideStart(lo, w, t int) int {
+	r := lo % t
+	d := w - r
+	if d < 0 {
+		d += t
+	}
+	return lo + d
+}
+
+// StrideCount returns how many indices in [lo, hi) worker w owns.
+func StrideCount(lo, hi, w, t int) int {
+	s := StrideStart(lo, w, t)
+	if s >= hi {
+		return 0
+	}
+	return (hi - s + t - 1) / t
+}
+
+// Sequential is the single-worker executor.
+type Sequential struct {
+	ctx   WorkerCtx
+	stats Stats
+}
+
+// NewSequential returns a sequential executor.
+func NewSequential() *Sequential { return &Sequential{} }
+
+// Threads returns 1.
+func (s *Sequential) Threads() int { return 1 }
+
+// Run executes fn for the single worker.
+func (s *Sequential) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
+	s.ctx.Ops = 0
+	fn(0, &s.ctx)
+	s.stats.record(kind, s.ctx.Ops, s.ctx.Ops)
+}
+
+// Stats returns the accumulated statistics.
+func (s *Sequential) Stats() *Stats { return &s.stats }
+
+// Close is a no-op.
+func (s *Sequential) Close() {}

@@ -1,0 +1,295 @@
+package parallel
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestStrideHelpers(t *testing.T) {
+	// Worker w owns indices i ≡ w (mod T) within [lo, hi).
+	for _, tc := range []struct{ lo, hi, w, t, start, count int }{
+		{0, 10, 0, 4, 0, 3},
+		{0, 10, 1, 4, 1, 3},
+		{0, 10, 2, 4, 2, 2},
+		{0, 10, 3, 4, 3, 2},
+		{5, 9, 0, 4, 8, 1},
+		{5, 9, 1, 4, 5, 1},
+		{5, 9, 3, 4, 7, 1},
+		{5, 6, 2, 4, 9, 0}, // start beyond hi -> 0
+		{7, 7, 0, 2, 8, 0},
+		{0, 3, 0, 8, 0, 1}, // fewer patterns than workers: some idle
+		{0, 3, 5, 8, 5, 0},
+	} {
+		s := StrideStart(tc.lo, tc.w, tc.t)
+		if s != tc.start && StrideCount(tc.lo, tc.hi, tc.w, tc.t) != 0 {
+			t.Errorf("StrideStart(%d,%d,%d) = %d, want %d", tc.lo, tc.w, tc.t, s, tc.start)
+		}
+		if c := StrideCount(tc.lo, tc.hi, tc.w, tc.t); c != tc.count {
+			t.Errorf("StrideCount(%d,%d,%d,%d) = %d, want %d", tc.lo, tc.hi, tc.w, tc.t, c, tc.count)
+		}
+	}
+}
+
+// Property: cyclic distribution partitions [lo,hi) exactly.
+func TestStridePartitionQuick(t *testing.T) {
+	f := func(loRaw, widthRaw uint16, tRaw uint8) bool {
+		lo := int(loRaw % 1000)
+		hi := lo + int(widthRaw%2000)
+		T := 1 + int(tRaw%32)
+		total := 0
+		seen := make(map[int]bool)
+		for w := 0; w < T; w++ {
+			n := 0
+			for i := StrideStart(lo, w, T); i < hi; i += T {
+				if i%T != w || seen[i] || i < lo {
+					return false
+				}
+				seen[i] = true
+				n++
+			}
+			if n != StrideCount(lo, hi, w, T) {
+				return false
+			}
+			total += n
+		}
+		return total == hi-lo
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func testExecutorBasics(t *testing.T, ex Executor, wantThreads int) {
+	t.Helper()
+	if ex.Threads() != wantThreads {
+		t.Fatalf("Threads() = %d, want %d", ex.Threads(), wantThreads)
+	}
+	var total int64
+	var touched int64
+	ex.Run(RegionNewview, func(w int, ctx *WorkerCtx) {
+		atomic.AddInt64(&total, int64(w))
+		atomic.AddInt64(&touched, 1)
+		ctx.Ops = float64(10 * (w + 1))
+	})
+	if got := int(touched); got != wantThreads {
+		t.Errorf("fn ran for %d workers, want %d", got, wantThreads)
+	}
+	wantSum := int64(wantThreads * (wantThreads - 1) / 2)
+	if total != wantSum {
+		t.Errorf("worker id sum = %d, want %d", total, wantSum)
+	}
+	st := ex.Stats()
+	if st.Regions != 1 || st.KindRegions[RegionNewview] != 1 {
+		t.Errorf("stats regions = %+v", st)
+	}
+	wantMax := float64(10 * wantThreads)
+	if st.CriticalOps != wantMax {
+		t.Errorf("CriticalOps = %v, want %v", st.CriticalOps, wantMax)
+	}
+	wantTotal := 0.0
+	for w := 0; w < wantThreads; w++ {
+		wantTotal += float64(10 * (w + 1))
+	}
+	if st.TotalOps != wantTotal {
+		t.Errorf("TotalOps = %v, want %v", st.TotalOps, wantTotal)
+	}
+}
+
+func TestSequentialExecutor(t *testing.T) {
+	ex := NewSequential()
+	defer ex.Close()
+	testExecutorBasics(t, ex, 1)
+}
+
+func TestPoolExecutor(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 7} {
+		ex, err := NewPool(threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testExecutorBasics(t, ex, threads)
+		ex.Close()
+	}
+	if _, err := NewPool(0); err == nil {
+		t.Error("expected error for 0 threads")
+	}
+}
+
+func TestSimExecutor(t *testing.T) {
+	for _, threads := range []int{1, 2, 8, 16} {
+		ex, err := NewSim(threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		testExecutorBasics(t, ex, threads)
+		ex.Close()
+	}
+	if _, err := NewSim(-1); err == nil {
+		t.Error("expected error for negative threads")
+	}
+}
+
+func TestPoolParallelSum(t *testing.T) {
+	// A realistic reduction: workers sum disjoint strided slices.
+	const n = 100000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	for _, threads := range []int{1, 2, 3, 8} {
+		ex, err := NewPool(threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials := make([]float64, threads*8) // padded slots
+		for rep := 0; rep < 3; rep++ {
+			ex.Run(RegionEvaluate, func(w int, ctx *WorkerCtx) {
+				s := 0.0
+				for i := StrideStart(0, w, threads); i < n; i += threads {
+					s += data[i]
+				}
+				partials[w*8] = s
+			})
+			got := 0.0
+			for w := 0; w < threads; w++ {
+				got += partials[w*8]
+			}
+			want := float64(n) * float64(n-1) / 2
+			if math.Abs(got-want) > 1e-6*want {
+				t.Errorf("threads=%d: sum = %v, want %v", threads, got, want)
+			}
+		}
+		ex.Close()
+	}
+}
+
+func TestPoolCloseIdempotentAndPanicAfterClose(t *testing.T) {
+	ex, _ := NewPool(2)
+	ex.Close()
+	ex.Close() // must not panic
+	defer func() {
+		if recover() == nil {
+			t.Error("Run after Close should panic")
+		}
+	}()
+	ex.Run(RegionOther, func(w int, ctx *WorkerCtx) {})
+}
+
+func TestStatsImbalance(t *testing.T) {
+	var st Stats
+	// Two regions with 4 workers: one perfectly balanced, one all-on-one.
+	st.record(RegionNewview, 25, 100)
+	if got := st.Imbalance(4); math.Abs(got-1) > 1e-12 {
+		t.Errorf("balanced imbalance = %v, want 1", got)
+	}
+	st.record(RegionNewview, 100, 100)
+	// critical = 125, ideal = 200/4 = 50 -> 2.5
+	if got := st.Imbalance(4); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("imbalance = %v, want 2.5", got)
+	}
+	if st.Imbalance(0) != 1 {
+		t.Error("degenerate imbalance should be 1")
+	}
+	st.Reset()
+	if st.Regions != 0 || st.TotalOps != 0 {
+		t.Error("Reset failed")
+	}
+	if st.String() == "" {
+		t.Error("String should render")
+	}
+}
+
+func TestPlatformModel(t *testing.T) {
+	for _, p := range Platforms {
+		if p.PerOpNS(1) != p.SeqOpNS {
+			t.Errorf("%s: PerOpNS(1) != SeqOpNS", p.Name)
+		}
+		if p.PerOpNS(8) <= p.PerOpNS(1) {
+			t.Errorf("%s: per-op cost must grow with threads", p.Name)
+		}
+		if p.SyncNS(1) != 0 {
+			t.Errorf("%s: sequential runs must pay no sync cost", p.Name)
+		}
+		if p.SyncNS(16) <= p.SyncNS(2) {
+			t.Errorf("%s: sync cost must grow with threads", p.Name)
+		}
+	}
+	// Paper's platform ordering: Nehalem sequential is fastest, ~40% faster
+	// than Clovertown; AMD sequential is slower than Intel.
+	if !(Nehalem.SeqOpNS < Clovertown.SeqOpNS) {
+		t.Error("Nehalem must be faster than Clovertown sequentially")
+	}
+	ratio := Clovertown.SeqOpNS / Nehalem.SeqOpNS
+	if ratio < 1.3 || ratio > 2.0 {
+		t.Errorf("Clovertown/Nehalem sequential ratio %v outside plausible band", ratio)
+	}
+	if !(Barcelona.SeqOpNS > Clovertown.SeqOpNS && X4600.SeqOpNS > Nehalem.SeqOpNS) {
+		t.Error("AMD platforms must be slower sequentially than Intel")
+	}
+	// Clovertown's bandwidth wall: at 8 threads its per-op inflation must
+	// far exceed Nehalem's.
+	if Clovertown.PerOpNS(8)/Clovertown.SeqOpNS < 1.5 {
+		t.Error("Clovertown must be strongly bandwidth limited at 8 threads")
+	}
+	if Nehalem.PerOpNS(8)/Nehalem.SeqOpNS > 1.3 {
+		t.Error("Nehalem must scale well to 8 threads")
+	}
+}
+
+func TestPlatformEvalSeconds(t *testing.T) {
+	var st Stats
+	st.record(RegionNewview, 1e9, 8e9) // 1e9 critical ops
+	st.record(RegionEvaluate, 1e9, 8e9)
+	p := Nehalem
+	seq := p.EvalSeconds(&st, 1)
+	want := p.SeqOpNS * 2e9 * 1e-9
+	if math.Abs(seq-want) > 1e-9 {
+		t.Errorf("sequential eval = %v, want %v", seq, want)
+	}
+	// With threads the same critical ops cost more per op plus sync.
+	par := p.EvalSeconds(&st, 8)
+	if par <= seq*1.01 {
+		// same critical ops -> parallel pricing must include contention.
+		t.Errorf("8-thread pricing of identical critical path should exceed sequential: %v vs %v", par, seq)
+	}
+	if _, err := PlatformByName("Nehalem"); err != nil {
+		t.Error(err)
+	}
+	if _, err := PlatformByName("PDP11"); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+}
+
+func TestSimMatchesPoolNumerically(t *testing.T) {
+	// The same strided computation must produce identical results under Sim
+	// and Pool (same worker decomposition).
+	const n = 4321
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Sin(float64(i))
+	}
+	run := func(ex Executor) float64 {
+		threads := ex.Threads()
+		partials := make([]float64, threads*8)
+		ex.Run(RegionEvaluate, func(w int, ctx *WorkerCtx) {
+			s := 0.0
+			for i := StrideStart(0, w, threads); i < n; i += threads {
+				s += data[i] * data[i]
+			}
+			partials[w*8] = s
+		})
+		total := 0.0
+		for w := 0; w < threads; w++ {
+			total += partials[w*8]
+		}
+		return total
+	}
+	sim, _ := NewSim(4)
+	pool, _ := NewPool(4)
+	defer pool.Close()
+	if a, b := run(sim), run(pool); a != b {
+		t.Errorf("Sim and Pool disagree: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,88 @@
+package parallel
+
+import "fmt"
+
+// Platform models one of the paper's multi-core test systems as three
+// parameters: per-op cost at one thread, a memory-bandwidth contention slope
+// (per-op cost grows as threads are added; steep for the front-side-bus
+// Clovertown, shallow for the NUMA systems), and an affine barrier cost in
+// the thread count. Together with the trace statistics of a Sim (or Pool)
+// run, a platform prices an execution in virtual seconds:
+//
+//	time = perOp(T)*CriticalOps + sync(T)*Regions
+//
+// The paper's load-balance phenomenology falls out of this model because
+// oldPAR produces many narrow regions (high Regions count, CriticalOps
+// inflated by idle workers) while newPAR produces few full-width regions.
+type Platform struct {
+	Name string
+	// SeqOpNS is the cost of one weighted kernel op at T=1, in nanoseconds.
+	SeqOpNS float64
+	// BWSlope inflates per-op cost with thread count:
+	// perOp(T) = SeqOpNS * (1 + BWSlope*(T-1)). RAxML is memory-bound, so
+	// this captures the dominant scaling limit (Sec. V of the paper).
+	BWSlope float64
+	// SyncBaseNS + SyncPerThreadNS*T is the cost of one barrier/fan-out.
+	SyncBaseNS      float64
+	SyncPerThreadNS float64
+	// MaxThreads is the core count of the machine.
+	MaxThreads int
+}
+
+// PerOpNS returns the per-op cost at the given thread count.
+func (p Platform) PerOpNS(threads int) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	return p.SeqOpNS * (1 + p.BWSlope*float64(threads-1))
+}
+
+// SyncNS returns the per-region synchronization cost at the given thread
+// count; a single thread pays nothing.
+func (p Platform) SyncNS(threads int) float64 {
+	if threads <= 1 {
+		return 0
+	}
+	return p.SyncBaseNS + p.SyncPerThreadNS*float64(threads)
+}
+
+// EvalSeconds prices a recorded execution on this platform.
+func (p Platform) EvalSeconds(st *Stats, threads int) float64 {
+	return (p.PerOpNS(threads)*st.CriticalOps + p.SyncNS(threads)*float64(st.Regions)) * 1e-9
+}
+
+// The four platforms of the paper's Section V. The constants were calibrated
+// so that (a) sequential Nehalem is ~40% faster than Clovertown, (b) Intel
+// sequential runs beat AMD, (c) Clovertown stops scaling at 8 threads on the
+// memory-bound kernel while the NUMA machines keep scaling, and (d) barrier
+// costs grow with the thread count so that 16-thread oldPAR runs can be
+// slower than 8-thread ones, as in Figures 3-5.
+var (
+	// Nehalem: 2-way Intel pre-production, 8 cores, 2.93 GHz, QPI NUMA,
+	// ~30 GB/s per socket.
+	Nehalem = Platform{Name: "Nehalem", SeqOpNS: 0.40, BWSlope: 0.020,
+		SyncBaseNS: 1500, SyncPerThreadNS: 350, MaxThreads: 8}
+	// Clovertown: 2-way Intel, 8 cores, 2.66 GHz, shared front-side bus.
+	Clovertown = Platform{Name: "Clovertown", SeqOpNS: 0.66, BWSlope: 0.110,
+		SyncBaseNS: 2000, SyncPerThreadNS: 450, MaxThreads: 8}
+	// Barcelona: 4-way AMD, 16 cores, 2.2 GHz, HyperTransport NUMA.
+	Barcelona = Platform{Name: "Barcelona", SeqOpNS: 0.90, BWSlope: 0.018,
+		SyncBaseNS: 2500, SyncPerThreadNS: 600, MaxThreads: 16}
+	// X4600: 8-way Sun (AMD Opteron), 16 cores, 2.6 GHz, NUMA with a larger
+	// interconnect diameter, hence the higher barrier cost.
+	X4600 = Platform{Name: "x4600", SeqOpNS: 0.78, BWSlope: 0.022,
+		SyncBaseNS: 3000, SyncPerThreadNS: 800, MaxThreads: 16}
+)
+
+// Platforms lists the paper's four systems in figure order.
+var Platforms = []Platform{Nehalem, Clovertown, Barcelona, X4600}
+
+// PlatformByName resolves a platform profile by (case-sensitive) name.
+func PlatformByName(name string) (Platform, error) {
+	for _, p := range Platforms {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("parallel: unknown platform %q", name)
+}

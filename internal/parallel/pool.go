@@ -1,0 +1,86 @@
+package parallel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool is the real goroutine-based executor: T persistent workers receive
+// region closures over per-worker channels and signal completion through a
+// WaitGroup (the barrier). This mirrors RAxML's Pthreads master/worker
+// design, where the master generates traversal descriptors and the workers
+// execute them over their cyclic share of the alignment patterns.
+type Pool struct {
+	threads int
+	cmds    []chan func()
+	wg      sync.WaitGroup
+	ctxs    []WorkerCtx
+	stats   Stats
+	closed  bool
+}
+
+// NewPool starts a pool with the given worker count.
+func NewPool(threads int) (*Pool, error) {
+	if threads < 1 {
+		return nil, fmt.Errorf("parallel: thread count %d must be positive", threads)
+	}
+	p := &Pool{
+		threads: threads,
+		cmds:    make([]chan func(), threads),
+		ctxs:    make([]WorkerCtx, threads),
+	}
+	for w := 0; w < threads; w++ {
+		p.ctxs[w].Worker = w
+		p.cmds[w] = make(chan func(), 1)
+		go func(ch chan func()) {
+			for fn := range ch {
+				fn()
+			}
+		}(p.cmds[w])
+	}
+	return p, nil
+}
+
+// Threads returns the worker count.
+func (p *Pool) Threads() int { return p.threads }
+
+// Run fans fn out to every worker and blocks until all complete.
+func (p *Pool) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
+	if p.closed {
+		panic("parallel: Run on closed Pool")
+	}
+	p.wg.Add(p.threads)
+	for w := 0; w < p.threads; w++ {
+		w := w
+		ctx := &p.ctxs[w]
+		ctx.Ops = 0
+		p.cmds[w] <- func() {
+			fn(w, ctx)
+			p.wg.Done()
+		}
+	}
+	p.wg.Wait()
+	maxOps, sumOps := 0.0, 0.0
+	for w := 0; w < p.threads; w++ {
+		ops := p.ctxs[w].Ops
+		sumOps += ops
+		if ops > maxOps {
+			maxOps = ops
+		}
+	}
+	p.stats.record(kind, maxOps, sumOps)
+}
+
+// Stats returns accumulated instrumentation.
+func (p *Pool) Stats() *Stats { return &p.stats }
+
+// Close terminates the worker goroutines.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.cmds {
+		close(ch)
+	}
+}

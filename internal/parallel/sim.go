@@ -1,0 +1,58 @@
+package parallel
+
+// Sim executes regions with T virtual workers run serially on the calling
+// goroutine: the numerical results are bit-identical to a Pool run with the
+// same T, while the recorded statistics (critical-path ops per region, region
+// count) drive the trace-based platform model. Because virtual time is
+//
+//	perOp(platform, T) * CriticalOps + sync(platform, T) * Regions
+//
+// a *single* Sim run can be priced on every platform profile afterwards; see
+// Platform.EvalSeconds.
+type Sim struct {
+	threads int
+	ctx     WorkerCtx
+	stats   Stats
+}
+
+// NewSim returns a virtual executor with T workers.
+func NewSim(threads int) (*Sim, error) {
+	if threads < 1 {
+		return nil, errBadThreads(threads)
+	}
+	return &Sim{threads: threads}, nil
+}
+
+func errBadThreads(t int) error {
+	return &badThreadsError{t}
+}
+
+type badThreadsError struct{ t int }
+
+func (e *badThreadsError) Error() string {
+	return "parallel: thread count must be positive"
+}
+
+// Threads returns the virtual worker count.
+func (s *Sim) Threads() int { return s.threads }
+
+// Run executes fn serially for every virtual worker.
+func (s *Sim) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
+	maxOps, sumOps := 0.0, 0.0
+	for w := 0; w < s.threads; w++ {
+		s.ctx.Worker = w
+		s.ctx.Ops = 0
+		fn(w, &s.ctx)
+		sumOps += s.ctx.Ops
+		if s.ctx.Ops > maxOps {
+			maxOps = s.ctx.Ops
+		}
+	}
+	s.stats.record(kind, maxOps, sumOps)
+}
+
+// Stats returns accumulated instrumentation.
+func (s *Sim) Stats() *Stats { return &s.stats }
+
+// Close is a no-op.
+func (s *Sim) Close() {}

@@ -1,0 +1,55 @@
+package parallel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats accumulates the two quantities that determine parallel performance in
+// the paper's analysis — how many synchronization events (regions/barriers)
+// were issued and how much bounded-by-the-slowest work each contained — plus
+// per-kind breakdowns. All updates happen on the master side of the barrier,
+// so no locking is needed.
+type Stats struct {
+	Regions      int64   // total parallel regions (= barriers for T > 1)
+	TotalOps     float64 // sum over regions of summed per-worker ops
+	CriticalOps  float64 // sum over regions of max per-worker ops (the critical path)
+	KindRegions  [numRegionKinds]int64
+	KindCritical [numRegionKinds]float64
+}
+
+func (s *Stats) record(kind Region, maxOps, sumOps float64) {
+	if kind < 0 || kind >= numRegionKinds {
+		kind = RegionOther
+	}
+	s.Regions++
+	s.TotalOps += sumOps
+	s.CriticalOps += maxOps
+	s.KindRegions[kind]++
+	s.KindCritical[kind] += maxOps
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() { *s = Stats{} }
+
+// Imbalance is the ratio of critical-path work to perfectly balanced work
+// (TotalOps / T); 1.0 means perfect balance. Meaningful for T > 1.
+func (s *Stats) Imbalance(threads int) float64 {
+	if s.TotalOps == 0 || threads <= 0 {
+		return 1
+	}
+	return s.CriticalOps / (s.TotalOps / float64(threads))
+}
+
+// String renders a compact per-kind table.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "regions=%d totalOps=%.3g criticalOps=%.3g\n", s.Regions, s.TotalOps, s.CriticalOps)
+	for k := Region(0); k < numRegionKinds; k++ {
+		if s.KindRegions[k] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-11s regions=%-10d criticalOps=%.3g\n", k.String(), s.KindRegions[k], s.KindCritical[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,253 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"phylo/internal/alignment"
+	"phylo/internal/core"
+	"phylo/internal/model"
+	"phylo/internal/opt"
+	"phylo/internal/parallel"
+	"phylo/internal/tree"
+)
+
+func taxaNames(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("t%d", i)
+	}
+	return out
+}
+
+// simulateOnTree generates data that *fits a known tree*, so a search started
+// from a scrambled tree has signal to recover: states are evolved down the
+// generating topology under JC with the given branch scale.
+func simulateOnTree(t *testing.T, gen *tree.Tree, nSites int, seed int64) *alignment.Alignment {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	n := gen.NumTips()
+	seqs := make([][]byte, n)
+	for i := range seqs {
+		seqs[i] = make([]byte, nSites)
+	}
+	var evolve func(p *tree.Node, state int, site int)
+	evolve = func(p *tree.Node, state int, site int) {
+		if p.IsTip() {
+			seqs[p.Index][site] = "ACGT"[state]
+			return
+		}
+		for _, child := range []*tree.Node{p.Next.Back, p.Next.Next.Back} {
+			ns := jcEvolve(rng, state, childBranch(p, child))
+			evolve(child, ns, site)
+		}
+	}
+	root := gen.Tips[0].Back
+	for site := 0; site < nSites; site++ {
+		state := rng.Intn(4)
+		// Evolve down both sides of the root branch.
+		tipState := jcEvolve(rng, state, gen.Tips[0].Z[0])
+		seqs[0][site] = "ACGT"[tipState]
+		evolve(root, state, site)
+	}
+	a, err := alignment.New(taxaNames(n), seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func childBranch(p, child *tree.Node) float64 {
+	if p.Next.Back == child {
+		return p.Next.Z[0]
+	}
+	return p.Next.Next.Z[0]
+}
+
+func jcEvolve(rng *rand.Rand, state int, bl float64) int {
+	pSame := 0.25 + 0.75*math.Exp(-4.0/3.0*bl)
+	if rng.Float64() < pSame {
+		return state
+	}
+	// Uniform over the other three states.
+	ns := rng.Intn(3)
+	if ns >= state {
+		ns++
+	}
+	return ns
+}
+
+func buildSearch(t *testing.T, nTaxa, nSites int, strategy opt.Strategy, exec parallel.Executor, genSeed, startSeed int64) (*Searcher, *core.Engine, *tree.Tree) {
+	t.Helper()
+	gen, err := tree.Random(taxaNames(nTaxa), 1, tree.RandomOptions{Seed: genSeed, MeanBranchLength: 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := simulateOnTree(t, gen, nSites, genSeed+1000)
+	d, err := alignment.Compress(a, alignment.SinglePartition(a, alignment.DNA, ""), alignment.CompressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := model.JC69(4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, err := tree.Random(taxaNames(nTaxa), 1, tree.RandomOptions{Seed: startSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := core.New(d, start, []*model.Model{m}, exec, core.Options{Specialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(strategy)
+	cfg.MaxRounds = 3
+	cfg.Radius = 4
+	return New(eng, cfg), eng, start
+}
+
+func TestSearchImprovesLikelihood(t *testing.T) {
+	s, eng, _ := buildSearch(t, 10, 200, opt.NewPar, parallel.NewSequential(), 5, 99)
+	before := eng.LogLikelihood()
+	res := s.Run()
+	if res.LnL < before {
+		t.Errorf("search decreased lnL: %v -> %v", before, res.LnL)
+	}
+	if res.MovesTried == 0 {
+		t.Error("search tried no moves")
+	}
+	if res.MovesApplied == 0 {
+		t.Error("random start vs simulated data: expected at least one improving SPR move")
+	}
+	// The final likelihood must match a fresh evaluation of the final tree.
+	eng.InvalidateCLVs()
+	if got := eng.LogLikelihood(); math.Abs(got-res.LnL) > 1e-6*math.Abs(got) {
+		t.Errorf("reported lnL %v does not match final tree lnL %v", res.LnL, got)
+	}
+}
+
+func TestSearchRecoversGeneratingTreeScore(t *testing.T) {
+	// Searching from a random start must come close to (or beat) the
+	// likelihood of the true generating topology.
+	gen, _ := tree.Random(taxaNames(8), 1, tree.RandomOptions{Seed: 7, MeanBranchLength: 0.2})
+	a := simulateOnTree(t, gen, 400, 77)
+	d, _ := alignment.Compress(a, alignment.SinglePartition(a, alignment.DNA, ""), alignment.CompressOptions{})
+	m, _ := model.JC69(4, 1.0)
+
+	// Score the generating tree (with optimized branch lengths).
+	genCopy, _ := tree.ParseNewick(tree.WriteNewick(gen, 0), taxaNames(8), 1)
+	engTrue, err := core.New(d, genCopy, []*model.Model{m}, parallel.NewSequential(), core.Options{Specialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueLnL := opt.New(engTrue, opt.DefaultConfig(opt.NewPar)).SmoothAll()
+
+	start, _ := tree.Random(taxaNames(8), 1, tree.RandomOptions{Seed: 1234})
+	eng, err := core.New(d, start, []*model.Model{m.Clone()}, parallel.NewSequential(), core.Options{Specialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(opt.NewPar)
+	cfg.MaxRounds = 6
+	cfg.Radius = 6
+	res := New(eng, cfg).Run()
+	if res.LnL < trueLnL-5 {
+		t.Errorf("search lnL %v far below generating tree lnL %v", res.LnL, trueLnL)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	s1, _, tr1 := buildSearch(t, 9, 150, opt.NewPar, parallel.NewSequential(), 3, 42)
+	s2, _, tr2 := buildSearch(t, 9, 150, opt.NewPar, parallel.NewSequential(), 3, 42)
+	r1 := s1.Run()
+	r2 := s2.Run()
+	if r1.LnL != r2.LnL || r1.MovesApplied != r2.MovesApplied {
+		t.Errorf("search not deterministic: %+v vs %+v", r1, r2)
+	}
+	if tree.WriteNewick(tr1, 0) != tree.WriteNewick(tr2, 0) {
+		t.Error("final topologies differ between identical runs")
+	}
+}
+
+func TestSearchStrategiesFindSameTree(t *testing.T) {
+	sOld, _, trOld := buildSearch(t, 9, 150, opt.OldPar, parallel.NewSequential(), 11, 52)
+	sNew, _, trNew := buildSearch(t, 9, 150, opt.NewPar, parallel.NewSequential(), 11, 52)
+	rOld := sOld.Run()
+	rNew := sNew.Run()
+	// Same optima within optimizer tolerance; trees should agree given the
+	// deterministic candidate order.
+	if math.Abs(rOld.LnL-rNew.LnL) > 1e-3*math.Abs(rOld.LnL) {
+		t.Errorf("strategies found different likelihoods: %v vs %v", rOld.LnL, rNew.LnL)
+	}
+	if tree.WriteNewick(trOld, 0) != tree.WriteNewick(trNew, 0) {
+		t.Log("topologies differ slightly between strategies (acceptable within tolerance)")
+	}
+}
+
+func TestSearchParallelMatchesSequential(t *testing.T) {
+	pool, err := parallel.NewPool(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	sSeq, _, _ := buildSearch(t, 8, 120, opt.NewPar, parallel.NewSequential(), 21, 63)
+	sPar, _, _ := buildSearch(t, 8, 120, opt.NewPar, pool, 21, 63)
+	rSeq := sSeq.Run()
+	rPar := sPar.Run()
+	if math.Abs(rSeq.LnL-rPar.LnL) > 1e-6*math.Abs(rSeq.LnL) {
+		t.Errorf("parallel search diverged: %v vs %v", rSeq.LnL, rPar.LnL)
+	}
+	if rSeq.MovesApplied != rPar.MovesApplied {
+		t.Errorf("move counts differ: %d vs %d", rSeq.MovesApplied, rPar.MovesApplied)
+	}
+}
+
+func TestSearchPreservesTreeValidity(t *testing.T) {
+	s, eng, tr := buildSearch(t, 10, 100, opt.NewPar, parallel.NewSequential(), 31, 74)
+	s.Run()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("tree invalid after search: %v", err)
+	}
+	// All branch lengths within bounds.
+	for _, b := range tr.Branches() {
+		for k, z := range b.Z {
+			if z < model.MinBranchLen || z > model.MaxBranchLen {
+				t.Errorf("branch slot %d has out-of-bounds length %v", k, z)
+			}
+		}
+	}
+	_ = eng
+}
+
+func TestSearchPartitionedPerPartitionBL(t *testing.T) {
+	// Multi-partition search with per-partition branch lengths: the paper's
+	// headline configuration.
+	gen, _ := tree.Random(taxaNames(8), 1, tree.RandomOptions{Seed: 13, MeanBranchLength: 0.15})
+	a := simulateOnTree(t, gen, 300, 131)
+	parts, err := alignment.UniformPartitions(a, alignment.DNA, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := alignment.Compress(a, parts, alignment.CompressOptions{})
+	models := make([]*model.Model, len(d.Parts))
+	for i := range models {
+		models[i], _ = model.GTR(nil, nil, 4, 0.8)
+	}
+	start, _ := tree.Random(taxaNames(8), len(d.Parts), tree.RandomOptions{Seed: 17})
+	eng, err := core.New(d, start, models, parallel.NewSequential(), core.Options{Specialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(opt.NewPar)
+	cfg.MaxRounds = 2
+	before := eng.LogLikelihood()
+	res := New(eng, cfg).Run()
+	if res.LnL < before {
+		t.Errorf("partitioned search decreased lnL %v -> %v", before, res.LnL)
+	}
+	if err := start.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

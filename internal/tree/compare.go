@@ -1,0 +1,94 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bipartitions returns the canonical string forms of the non-trivial splits
+// (bipartitions) induced by the tree's internal branches. Each split is
+// identified by the sorted taxon-index set on the side not containing taxon
+// 0, so the representation is rooting-independent. An unrooted binary tree
+// over n taxa has exactly n-3 non-trivial splits.
+func (t *Tree) Bipartitions() map[string]bool {
+	splits := make(map[string]bool, t.NumTips()-3)
+	for _, b := range t.Branches() {
+		if b.IsTip() || b.Back.IsTip() {
+			continue // trivial split
+		}
+		var members []int
+		collectTips(b.Back, &members)
+		// Canonicalize: use the side that excludes taxon 0.
+		has0 := false
+		for _, m := range members {
+			if m == 0 {
+				has0 = true
+				break
+			}
+		}
+		if has0 {
+			other := make([]int, 0, t.NumTips()-len(members))
+			present := make(map[int]bool, len(members))
+			for _, m := range members {
+				present[m] = true
+			}
+			for i := 0; i < t.NumTips(); i++ {
+				if !present[i] {
+					other = append(other, i)
+				}
+			}
+			members = other
+		}
+		sort.Ints(members)
+		var sb strings.Builder
+		for i, m := range members {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%d", m)
+		}
+		splits[sb.String()] = true
+	}
+	return splits
+}
+
+// collectTips gathers the taxon indices of the subtree behind record p.
+func collectTips(p *Node, out *[]int) {
+	if p.IsTip() {
+		*out = append(*out, p.Index)
+		return
+	}
+	collectTips(p.Next.Back, out)
+	collectTips(p.Next.Next.Back, out)
+}
+
+// RobinsonFoulds computes the Robinson-Foulds topological distance between
+// two trees over the same taxa: the number of bipartitions present in
+// exactly one of the two trees. Zero means identical topologies; the maximum
+// for binary trees is 2(n-3).
+func RobinsonFoulds(a, b *Tree) (int, error) {
+	if a.NumTips() != b.NumTips() {
+		return 0, errors.New("tree: RobinsonFoulds requires equal taxon sets")
+	}
+	for i, n := range a.Names {
+		if b.Names[i] != n {
+			return 0, fmt.Errorf("tree: taxon %d differs: %q vs %q", i, n, b.Names[i])
+		}
+	}
+	sa := a.Bipartitions()
+	sb := b.Bipartitions()
+	d := 0
+	for s := range sa {
+		if !sb[s] {
+			d++
+		}
+	}
+	for s := range sb {
+		if !sa[s] {
+			d++
+		}
+	}
+	return d, nil
+}

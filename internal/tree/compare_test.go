@@ -1,0 +1,89 @@
+package tree
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBipartitionsCount(t *testing.T) {
+	for _, n := range []int{4, 8, 20} {
+		tr, _ := Random(names(n), 1, RandomOptions{Seed: int64(n)})
+		got := len(tr.Bipartitions())
+		if got != n-3 {
+			t.Errorf("n=%d: %d bipartitions, want %d", n, got, n-3)
+		}
+	}
+}
+
+func TestRobinsonFouldsIdentity(t *testing.T) {
+	tr, _ := Random(names(12), 1, RandomOptions{Seed: 4})
+	// Same topology reparsed from newick (different record layout).
+	back, err := ParseNewick(WriteNewick(tr, 0), names(12), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := RobinsonFoulds(tr, back)
+	if err != nil || d != 0 {
+		t.Errorf("RF(self) = %d, %v; want 0", d, err)
+	}
+}
+
+func TestRobinsonFouldsKnown(t *testing.T) {
+	// ((t0,t1),(t2,t3)) vs ((t0,t2),(t1,t3)): the single internal split
+	// differs in both -> RF = 2.
+	a, err := ParseNewick("((t0:1,t1:1):1,(t2:1,t3:1):1);", names(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseNewick("((t0:1,t2:1):1,(t1:1,t3:1):1);", names(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := RobinsonFoulds(a, b)
+	if err != nil || d != 2 {
+		t.Errorf("RF = %d, %v; want 2", d, err)
+	}
+	// And the maximum possible distance equals 2(n-3) here.
+	if max := 2 * (4 - 3); d != max {
+		t.Errorf("4-taxon disagreement should be maximal (%d), got %d", max, d)
+	}
+}
+
+func TestRobinsonFouldsErrors(t *testing.T) {
+	a, _ := Random(names(5), 1, RandomOptions{Seed: 1})
+	b, _ := Random(names(6), 1, RandomOptions{Seed: 1})
+	if _, err := RobinsonFoulds(a, b); err == nil {
+		t.Error("expected error for unequal taxon counts")
+	}
+	c, _ := New([]string{"x0", "x1", "x2", "x3", "x4"}, 1)
+	cc, _ := Random([]string{"x0", "x1", "x2", "x3", "x4"}, 1, RandomOptions{Seed: 2})
+	_ = c
+	if _, err := RobinsonFoulds(a, cc); err == nil {
+		t.Error("expected error for different taxon names")
+	}
+}
+
+// Property: RF is symmetric, bounded by 2(n-3), and zero iff the canonical
+// newick forms match (for these rooted-at-tip-0 serializations).
+func TestRobinsonFouldsQuick(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		n := 10
+		a, err1 := Random(names(n), 1, RandomOptions{Seed: seedA})
+		b, err2 := Random(names(n), 1, RandomOptions{Seed: seedB})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		dab, err3 := RobinsonFoulds(a, b)
+		dba, err4 := RobinsonFoulds(b, a)
+		if err3 != nil || err4 != nil {
+			return false
+		}
+		if dab != dba || dab < 0 || dab > 2*(n-3) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

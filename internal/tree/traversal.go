@@ -1,0 +1,48 @@
+package tree
+
+// TraversalStep is one newview operation: recompute the CLV of inner node P
+// (oriented towards P.Back) from the CLVs/tips behind Q = P.Next.Back and
+// R = P.Next.Next.Back, across branch lengths Q.Z and R.Z.
+type TraversalStep struct {
+	P, Q, R *Node
+}
+
+// ComputeTraversal returns the bottom-up list of newview steps required to
+// make the CLV at record p valid. With partial == true, subtrees whose X
+// orientation is already correct are not descended into — this implements the
+// paper's partial traversals after local topology changes ("the worker
+// threads will only need to update 3-4 inner likelihood vectors on average").
+// With partial == false a full post-order traversal of the subtree behind p
+// is produced (the fixed full-tree traversal lists used during model
+// optimization).
+//
+// The X flags are updated eagerly: callers are expected to execute the
+// returned steps immediately (the likelihood engine does).
+func ComputeTraversal(p *Node, partial bool) []TraversalStep {
+	var steps []TraversalStep
+	appendTraversal(p, partial, &steps)
+	return steps
+}
+
+func appendTraversal(p *Node, partial bool, steps *[]TraversalStep) {
+	if p.IsTip() {
+		return
+	}
+	if partial && p.X {
+		return
+	}
+	q := p.Next.Back
+	r := p.Next.Next.Back
+	appendTraversal(q, partial, steps)
+	appendTraversal(r, partial, steps)
+	*steps = append(*steps, TraversalStep{P: p, Q: q, R: r})
+	OrientX(p)
+}
+
+// RootTraversal produces the steps needed to evaluate the likelihood at the
+// virtual root on branch (p, p.Back): both end CLVs must be valid and
+// oriented towards the branch.
+func RootTraversal(p *Node, partial bool) []TraversalStep {
+	steps := ComputeTraversal(p, partial)
+	return append(steps, ComputeTraversal(p.Back, partial)...)
+}

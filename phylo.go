@@ -1,0 +1,399 @@
+// Package phylo is a from-scratch Go implementation of the Phylogenetic
+// Likelihood Kernel (PLK) with load-balanced fine-grained parallelism for
+// partitioned phylogenomic analyses, reproducing Stamatakis & Ott, "Load
+// Balance in the Phylogenetic Likelihood Kernel" (ICPP 2009).
+//
+// The package computes maximum-likelihood scores of unrooted binary
+// phylogenies under GTR/Gamma models (DNA) and 20-state models (protein),
+// optimizes model parameters (Brent) and branch lengths (Newton-Raphson),
+// and runs SPR tree searches. Partitioned (multi-gene) datasets may use a
+// separate model — and separate branch lengths — per partition; the iterative
+// optimizers can run in the paper's two parallelization strategies:
+//
+//   - OldPar: partitions optimized one at a time (narrow parallel regions,
+//     the load-balance problem the paper describes);
+//   - NewPar: all partitions optimized simultaneously with per-partition
+//     convergence tracking (the paper's solution).
+//
+// A typical session:
+//
+//	al, _ := phylo.ReadPhylipFile("data.phy")
+//	al.SetUniformPartitions(phylo.DNA, 1000)
+//	an, _ := phylo.NewAnalysis(al, phylo.Options{Threads: 8, Strategy: phylo.NewPar,
+//	    PerPartitionBranchLengths: true})
+//	defer an.Close()
+//	lnl, _ := an.OptimizeModel()
+//	res, _ := an.Search()
+//	fmt.Println(res.LnL, an.TreeNewick())
+package phylo
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"phylo/internal/alignment"
+	"phylo/internal/core"
+	"phylo/internal/model"
+	"phylo/internal/opt"
+	"phylo/internal/parallel"
+	"phylo/internal/search"
+	"phylo/internal/seqsim"
+	"phylo/internal/tree"
+)
+
+// DataType selects the character alphabet of a partition.
+type DataType = alignment.DataType
+
+// Alphabets.
+const (
+	// DNA is 4-state nucleotide data.
+	DNA = alignment.DNA
+	// AA is 20-state protein data.
+	AA = alignment.AA
+)
+
+// Strategy selects the parallelization of the iterative optimizers.
+type Strategy = opt.Strategy
+
+// Parallelization strategies (see the package comment).
+const (
+	// OldPar optimizes one partition at a time.
+	OldPar = opt.OldPar
+	// NewPar optimizes all partitions simultaneously (the paper's fix).
+	NewPar = opt.NewPar
+)
+
+// Alignment is a multiple sequence alignment plus its partition scheme.
+type Alignment struct {
+	raw   *alignment.Alignment
+	parts []alignment.Partition
+}
+
+// ReadPhylip parses a (relaxed sequential or interleaved) PHYLIP alignment.
+// The alignment starts with a single DNA partition; call a SetPartitions
+// method to change that.
+func ReadPhylip(r io.Reader) (*Alignment, error) {
+	a, err := alignment.ReadPhylip(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Alignment{raw: a, parts: alignment.SinglePartition(a, alignment.DNA, "all")}, nil
+}
+
+// ReadPhylipFile parses a PHYLIP file from disk.
+func ReadPhylipFile(path string) (*Alignment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPhylip(f)
+}
+
+// ReadFasta parses a FASTA alignment (single DNA partition by default).
+func ReadFasta(r io.Reader) (*Alignment, error) {
+	a, err := alignment.ReadFasta(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Alignment{raw: a, parts: alignment.SinglePartition(a, alignment.DNA, "all")}, nil
+}
+
+// NumTaxa returns the sequence count.
+func (al *Alignment) NumTaxa() int { return al.raw.NumTaxa() }
+
+// NumSites returns the column count.
+func (al *Alignment) NumSites() int { return al.raw.NumSites() }
+
+// NumPartitions returns the partition count of the current scheme.
+func (al *Alignment) NumPartitions() int { return len(al.parts) }
+
+// TaxonNames returns the taxon labels.
+func (al *Alignment) TaxonNames() []string { return append([]string(nil), al.raw.Names...) }
+
+// SetSinglePartition treats the whole alignment as one partition
+// (an "unpartitioned analysis" in the paper's vocabulary).
+func (al *Alignment) SetSinglePartition(t DataType) {
+	al.parts = alignment.SinglePartition(al.raw, t, "all")
+}
+
+// SetUniformPartitions splits the alignment into consecutive partitions of
+// partLen columns (the paper's p1000/p5000/p10000 schemes).
+func (al *Alignment) SetUniformPartitions(t DataType, partLen int) error {
+	parts, err := alignment.UniformPartitions(al.raw, t, partLen)
+	if err != nil {
+		return err
+	}
+	al.parts = parts
+	return nil
+}
+
+// SetPartitionsFromReader parses a RAxML-style partition file
+// ("DNA, gene0 = 1-1000" ...).
+func (al *Alignment) SetPartitionsFromReader(r io.Reader) error {
+	parts, err := alignment.ParsePartitionFile(r, al.raw.NumSites())
+	if err != nil {
+		return err
+	}
+	al.parts = parts
+	return nil
+}
+
+// SetPartitionsFromFile parses a RAxML-style partition file from disk.
+func (al *Alignment) SetPartitionsFromFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return al.SetPartitionsFromReader(f)
+}
+
+// WritePhylip serializes the alignment.
+func (al *Alignment) WritePhylip(w io.Writer) error { return alignment.WritePhylip(w, al.raw) }
+
+// WritePartitions serializes the partition scheme in RAxML format.
+func (al *Alignment) WritePartitions(w io.Writer) error {
+	return alignment.WritePartitionFile(w, al.parts)
+}
+
+// Options configures an Analysis.
+type Options struct {
+	// Threads is the worker count (default 1).
+	Threads int
+	// Strategy selects oldPAR or newPAR (default NewPar).
+	Strategy Strategy
+	// PerPartitionBranchLengths estimates a separate branch length per
+	// partition (the paper's hardest, most important case); false uses a
+	// joint estimate across partitions.
+	PerPartitionBranchLengths bool
+	// GammaCategories is the discrete-Gamma category count (default 4).
+	GammaCategories int
+	// VirtualThreads runs the workers serially on a virtual clock instead
+	// of real goroutines; numerics are identical and the recorded trace can
+	// be priced on the paper's hardware platforms with PlatformSeconds.
+	VirtualThreads bool
+	// StartTreeNewick fixes the starting topology; empty generates a random
+	// tree from Seed (the paper's "fixed input tree for reproducibility").
+	StartTreeNewick string
+	// Seed drives random-tree generation (default 1).
+	Seed int64
+}
+
+// Analysis is a live likelihood engine over one dataset.
+type Analysis struct {
+	eng  *core.Engine
+	exec parallel.Executor
+	tr   *tree.Tree
+	opts Options
+}
+
+// NewAnalysis compresses the alignment, builds per-partition models (GTR
+// with empirical frequencies for DNA, the fixed SYN20 matrix for protein),
+// constructs the starting tree, and wires up the parallel runtime.
+func NewAnalysis(al *Alignment, o Options) (*Analysis, error) {
+	if al == nil {
+		return nil, errors.New("phylo: nil alignment")
+	}
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	if o.GammaCategories <= 0 {
+		o.GammaCategories = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	d, err := alignment.Compress(al.raw, al.parts, alignment.CompressOptions{})
+	if err != nil {
+		return nil, err
+	}
+	models := make([]*model.Model, len(d.Parts))
+	for i, p := range d.Parts {
+		m, err := model.DefaultFor(p, o.GammaCategories, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		models[i] = m
+	}
+	zSlots := 1
+	if o.PerPartitionBranchLengths && len(d.Parts) > 1 {
+		zSlots = len(d.Parts)
+	}
+	var tr *tree.Tree
+	if o.StartTreeNewick != "" {
+		tr, err = tree.ParseNewick(o.StartTreeNewick, al.raw.Names, zSlots)
+	} else {
+		tr, err = tree.Random(al.raw.Names, zSlots, tree.RandomOptions{Seed: o.Seed})
+	}
+	if err != nil {
+		return nil, err
+	}
+	var exec parallel.Executor
+	if o.VirtualThreads {
+		exec, err = parallel.NewSim(o.Threads)
+	} else if o.Threads == 1 {
+		exec = parallel.NewSequential()
+	} else {
+		exec, err = parallel.NewPool(o.Threads)
+	}
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.New(d, tr, models, exec, core.Options{Specialize: true})
+	if err != nil {
+		exec.Close()
+		return nil, err
+	}
+	return &Analysis{eng: eng, exec: exec, tr: tr, opts: o}, nil
+}
+
+// Close releases the worker pool. The analysis must not be used afterwards.
+func (an *Analysis) Close() { an.exec.Close() }
+
+// LogLikelihood evaluates the current tree and model.
+func (an *Analysis) LogLikelihood() float64 { return an.eng.LogLikelihood() }
+
+// PartitionLogLikelihoods returns the total and per-partition scores.
+func (an *Analysis) PartitionLogLikelihoods() (float64, []float64) {
+	return an.eng.PartitionLogLikelihoods()
+}
+
+// OptimizeModel optimizes branch lengths, alpha shape parameters, and GTR
+// rates on the fixed current topology (the paper's "model parameter
+// optimization" phase) and returns the final log likelihood.
+func (an *Analysis) OptimizeModel() (float64, error) {
+	o := opt.New(an.eng, opt.DefaultConfig(an.opts.Strategy))
+	lnl, _ := o.OptimizeModel()
+	return lnl, core.CheckFinite(lnl)
+}
+
+// OptimizeBranchLengths runs branch-length smoothing only.
+func (an *Analysis) OptimizeBranchLengths() (float64, error) {
+	o := opt.New(an.eng, opt.DefaultConfig(an.opts.Strategy))
+	lnl := o.SmoothAll()
+	return lnl, core.CheckFinite(lnl)
+}
+
+// SearchResult reports an SPR search.
+type SearchResult struct {
+	LnL          float64
+	Rounds       int
+	MovesApplied int
+	MovesTried   int
+}
+
+// SearchOptions tunes Search; zero values select defaults.
+type SearchOptions struct {
+	MaxRounds int
+	Radius    int
+}
+
+// Search runs the SPR maximum-likelihood tree search.
+func (an *Analysis) Search() (SearchResult, error) { return an.SearchWith(SearchOptions{}) }
+
+// SearchWith runs the SPR search with explicit settings.
+func (an *Analysis) SearchWith(so SearchOptions) (SearchResult, error) {
+	cfg := search.DefaultConfig(an.opts.Strategy)
+	if so.MaxRounds > 0 {
+		cfg.MaxRounds = so.MaxRounds
+	}
+	if so.Radius > 0 {
+		cfg.Radius = so.Radius
+	}
+	res := search.New(an.eng, cfg).Run()
+	out := SearchResult{LnL: res.LnL, Rounds: res.Rounds, MovesApplied: res.MovesApplied, MovesTried: res.MovesTried}
+	return out, core.CheckFinite(res.LnL)
+}
+
+// TreeNewick serializes the current tree with partition k's branch lengths.
+func (an *Analysis) TreeNewick() string { return tree.WriteNewick(an.tr, 0) }
+
+// Alpha returns the optimized Gamma shape parameter of a partition.
+func (an *Analysis) Alpha(partition int) (float64, error) {
+	if partition < 0 || partition >= an.eng.NumPartitions() {
+		return 0, fmt.Errorf("phylo: partition %d out of range", partition)
+	}
+	return an.eng.Models[partition].Alpha, nil
+}
+
+// SyncStats summarizes the parallel runtime behaviour of everything executed
+// so far: the synchronization (region/barrier) count and the load imbalance
+// of the critical path — the quantities the paper's analysis is about.
+type SyncStats struct {
+	Regions     int64
+	CriticalOps float64
+	TotalOps    float64
+	Imbalance   float64
+}
+
+// Stats returns the accumulated parallel runtime statistics.
+func (an *Analysis) Stats() SyncStats {
+	s := an.exec.Stats()
+	return SyncStats{
+		Regions:     s.Regions,
+		CriticalOps: s.CriticalOps,
+		TotalOps:    s.TotalOps,
+		Imbalance:   s.Imbalance(an.exec.Threads()),
+	}
+}
+
+// PlatformSeconds prices the recorded execution trace on one of the paper's
+// four platforms ("Nehalem", "Clovertown", "Barcelona", "x4600") at the
+// analysis' thread count. Most meaningful with VirtualThreads enabled.
+func (an *Analysis) PlatformSeconds(platform string) (float64, error) {
+	p, err := parallel.PlatformByName(platform)
+	if err != nil {
+		return 0, err
+	}
+	return p.EvalSeconds(an.exec.Stats(), an.exec.Threads()), nil
+}
+
+// RobinsonFoulds computes the Robinson-Foulds topological distance between
+// two Newick trees over the same taxon set (0 = identical topologies,
+// maximum 2(n-3) for binary trees). Useful for comparing search results.
+func RobinsonFoulds(newickA, newickB string, taxa []string) (int, error) {
+	a, err := tree.ParseNewick(newickA, taxa, 1)
+	if err != nil {
+		return 0, err
+	}
+	b, err := tree.ParseNewick(newickB, taxa, 1)
+	if err != nil {
+		return 0, err
+	}
+	return tree.RobinsonFoulds(a, b)
+}
+
+// SimulateGrid generates one of the paper's 12 simulated DNA datasets
+// (dTAXA_SITES with uniform partitions of partLen columns) at the given
+// scale (1.0 = paper scale). The result carries the partition scheme.
+func SimulateGrid(taxa, sites, partLen int, scale float64, seed int64) (*Alignment, error) {
+	ds, err := seqsim.GridDataset(taxa, sites, partLen, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Alignment{raw: ds.Alignment, parts: ds.Parts}, nil
+}
+
+// SimulateRealWorld generates a shape-faithful stand-in for one of the
+// paper's real-world alignments: "r26_21451", "r24_16916", or "r125_19839".
+func SimulateRealWorld(name string, scale float64, seed int64) (*Alignment, error) {
+	var spec seqsim.RealWorldSpec
+	switch name {
+	case seqsim.R26Spec.Name:
+		spec = seqsim.R26Spec
+	case seqsim.R24Spec.Name:
+		spec = seqsim.R24Spec
+	case seqsim.R125Spec.Name:
+		spec = seqsim.R125Spec
+	default:
+		return nil, fmt.Errorf("phylo: unknown real-world dataset %q", name)
+	}
+	ds, err := seqsim.RealWorldDataset(spec, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Alignment{raw: ds.Alignment, parts: ds.Parts}, nil
+}

@@ -1,0 +1,215 @@
+package phylo
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+const tinyPhylip = `6 40
+t0  ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT
+t1  ACGTACGTACTTACGTACGAACGTACGTACGTACGTACGT
+t2  ACGAACGTACGTACGTACGTACGTACCTACGTACGTACGT
+t3  TCGTACGTACGTACGGACGTACGTACGTACGTACGTACCT
+t4  ACGTACGTACGTACGTACGTAGGTACGTACGAACGTACGT
+t5  ACGTACCTACGTACGTACGTACGTACGTACGTAAGTACGT
+`
+
+func TestReadPhylipAndAnalyze(t *testing.T) {
+	al, err := ReadPhylip(strings.NewReader(tinyPhylip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.NumTaxa() != 6 || al.NumSites() != 40 || al.NumPartitions() != 1 {
+		t.Fatalf("shape: %d taxa %d sites %d parts", al.NumTaxa(), al.NumSites(), al.NumPartitions())
+	}
+	an, err := NewAnalysis(al, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer an.Close()
+	lnl := an.LogLikelihood()
+	if lnl >= 0 || math.IsNaN(lnl) {
+		t.Errorf("lnL = %v", lnl)
+	}
+	better, err := an.OptimizeModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if better < lnl {
+		t.Errorf("optimization decreased lnL: %v -> %v", lnl, better)
+	}
+	alpha, err := an.Alpha(0)
+	if err != nil || alpha <= 0 {
+		t.Errorf("alpha = %v, %v", alpha, err)
+	}
+	if _, err := an.Alpha(5); err == nil {
+		t.Error("expected error for bad partition index")
+	}
+	nwk := an.TreeNewick()
+	if !strings.HasPrefix(nwk, "(") || !strings.HasSuffix(nwk, ";") {
+		t.Errorf("newick malformed: %s", nwk)
+	}
+}
+
+func TestPartitionedAnalysisStrategies(t *testing.T) {
+	results := map[Strategy]float64{}
+	for _, strat := range []Strategy{OldPar, NewPar} {
+		al, err := ReadPhylip(strings.NewReader(tinyPhylip))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := al.SetUniformPartitions(DNA, 20); err != nil {
+			t.Fatal(err)
+		}
+		an, err := NewAnalysis(al, Options{
+			Strategy:                  strat,
+			PerPartitionBranchLengths: true,
+			Seed:                      7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lnl, err := an.OptimizeModel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[strat] = lnl
+		st := an.Stats()
+		if st.Regions == 0 {
+			t.Error("no parallel regions recorded")
+		}
+		an.Close()
+	}
+	if math.Abs(results[OldPar]-results[NewPar]) > 1e-2*math.Abs(results[OldPar]) {
+		t.Errorf("strategies disagree: %v vs %v", results[OldPar], results[NewPar])
+	}
+}
+
+func TestVirtualThreadsAndPlatformPricing(t *testing.T) {
+	al, _ := ReadPhylip(strings.NewReader(tinyPhylip))
+	al.SetUniformPartitions(DNA, 10)
+	an, err := NewAnalysis(al, Options{
+		Threads:                   8,
+		VirtualThreads:            true,
+		PerPartitionBranchLengths: true,
+		Strategy:                  NewPar,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer an.Close()
+	if _, err := an.OptimizeBranchLengths(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"Nehalem", "Clovertown", "Barcelona", "x4600"} {
+		s, err := an.PlatformSeconds(name)
+		if err != nil || s <= 0 {
+			t.Errorf("platform %s: %v, %v", name, s, err)
+		}
+	}
+	if _, err := an.PlatformSeconds("VAX"); err == nil {
+		t.Error("expected error for unknown platform")
+	}
+}
+
+func TestSearchViaFacade(t *testing.T) {
+	al, err := SimulateGrid(10, 5000, 1000, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := NewAnalysis(al, Options{Strategy: NewPar, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer an.Close()
+	before := an.LogLikelihood()
+	res, err := an.SearchWith(SearchOptions{MaxRounds: 1, Radius: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LnL < before {
+		t.Errorf("search decreased lnL %v -> %v", before, res.LnL)
+	}
+	if res.MovesTried == 0 {
+		t.Error("no moves tried")
+	}
+}
+
+func TestSimulateRealWorldFacade(t *testing.T) {
+	al, err := SimulateRealWorld("r125_19839", 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.NumTaxa() != 125 || al.NumPartitions() != 34 {
+		t.Errorf("shape %d taxa %d parts", al.NumTaxa(), al.NumPartitions())
+	}
+	if _, err := SimulateRealWorld("r999", 0.01, 5); err == nil {
+		t.Error("expected error for unknown dataset")
+	}
+}
+
+func TestPartitionFileRoundTripFacade(t *testing.T) {
+	al, _ := ReadPhylip(strings.NewReader(tinyPhylip))
+	if err := al.SetPartitionsFromReader(strings.NewReader("DNA, g0 = 1-20\nDNA, g1 = 21-40\n")); err != nil {
+		t.Fatal(err)
+	}
+	if al.NumPartitions() != 2 {
+		t.Fatalf("partitions = %d", al.NumPartitions())
+	}
+	var buf bytes.Buffer
+	if err := al.WritePartitions(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1-20") {
+		t.Errorf("partition output: %s", buf.String())
+	}
+	var aln bytes.Buffer
+	if err := al.WritePhylip(&aln); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPhylip(&aln)
+	if err != nil || back.NumTaxa() != 6 {
+		t.Errorf("phylip roundtrip failed: %v", err)
+	}
+}
+
+func TestStartTreeNewickRespected(t *testing.T) {
+	al, _ := ReadPhylip(strings.NewReader(tinyPhylip))
+	fixed := "(t0:0.1,t1:0.1,(t2:0.1,(t3:0.1,(t4:0.1,t5:0.1):0.1):0.1):0.1);"
+	an, err := NewAnalysis(al, Options{StartTreeNewick: fixed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer an.Close()
+	if got := an.TreeNewick(); !strings.Contains(got, "t5") {
+		t.Errorf("tree lost taxa: %s", got)
+	}
+	if _, err := NewAnalysis(al, Options{StartTreeNewick: "((bad));"}); err == nil {
+		t.Error("expected error for bad newick")
+	}
+	if _, err := NewAnalysis(nil, Options{}); err == nil {
+		t.Error("expected error for nil alignment")
+	}
+}
+
+func TestRobinsonFouldsFacade(t *testing.T) {
+	taxa := []string{"t0", "t1", "t2", "t3"}
+	a := "((t0:1,t1:1):1,(t2:1,t3:1):1);"
+	b := "((t0:1,t2:1):1,(t1:1,t3:1):1);"
+	d, err := RobinsonFoulds(a, a, taxa)
+	if err != nil || d != 0 {
+		t.Errorf("RF(a,a) = %d, %v", d, err)
+	}
+	d, err = RobinsonFoulds(a, b, taxa)
+	if err != nil || d != 2 {
+		t.Errorf("RF(a,b) = %d, %v; want 2", d, err)
+	}
+	if _, err := RobinsonFoulds("bad", a, taxa); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := RobinsonFoulds(a, "bad", taxa); err == nil {
+		t.Error("expected parse error")
+	}
+}
