@@ -23,6 +23,7 @@ import (
 	"phylo/internal/model"
 	"phylo/internal/opt"
 	"phylo/internal/parallel"
+	"phylo/internal/schedule"
 	"phylo/internal/seqsim"
 	"phylo/internal/tree"
 )
@@ -327,11 +328,11 @@ func convergenceMaskBench(b *testing.B, disable bool) {
 func BenchmarkAblationConvergenceMaskOn(b *testing.B)  { convergenceMaskBench(b, false) }
 func BenchmarkAblationConvergenceMaskOff(b *testing.B) { convergenceMaskBench(b, true) }
 
-// --- Ablation: cyclic vs block pattern distribution (DESIGN.md) ---
+// --- Ablation: cyclic vs block vs weighted pattern schedule (DESIGN.md) ---
 
-func distributionBench(b *testing.B, block bool) {
+func scheduleBench(b *testing.B, strat schedule.Strategy) {
 	// Mixed narrow-region workload: per-partition branch smoothing, where
-	// block distribution concentrates each partition's columns on few
+	// the block schedule concentrates each partition's columns on few
 	// workers while cyclic spreads them (the paper's Sec. IV design choice).
 	ds := gridDS(b, 20, 20000, 1000, 49)
 	d, err := alignment.Compress(ds.Alignment, ds.Parts, alignment.CompressOptions{})
@@ -351,11 +352,10 @@ func distributionBench(b *testing.B, block bool) {
 		b.StopTimer()
 		sim, _ := parallel.NewSim(8)
 		tr, _ := tree.Random(ds.Alignment.Names, len(d.Parts), tree.RandomOptions{Seed: 78})
-		eng, err := core.New(d, tr, models, sim, core.Options{Specialize: true})
+		eng, err := core.New(d, tr, models, sim, core.Options{Specialize: true, Schedule: strat})
 		if err != nil {
 			b.Fatal(err)
 		}
-		eng.BlockDistribution = block
 		cfg := opt.DefaultConfig(opt.OldPar) // narrow regions stress the choice
 		o := opt.New(eng, cfg)
 		b.StartTimer()
@@ -365,5 +365,6 @@ func distributionBench(b *testing.B, block bool) {
 	b.ReportMetric(imbal, "imbalance")
 }
 
-func BenchmarkAblationCyclicDistribution(b *testing.B) { distributionBench(b, false) }
-func BenchmarkAblationBlockDistribution(b *testing.B)  { distributionBench(b, true) }
+func BenchmarkAblationCyclicSchedule(b *testing.B)   { scheduleBench(b, schedule.Cyclic) }
+func BenchmarkAblationBlockSchedule(b *testing.B)    { scheduleBench(b, schedule.Block) }
+func BenchmarkAblationWeightedSchedule(b *testing.B) { scheduleBench(b, schedule.Weighted) }

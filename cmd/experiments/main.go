@@ -6,6 +6,8 @@
 //	experiments -fig 3 -scale 0.1 -rounds 2      # one figure, bigger datasets
 //	experiments -exp protein
 //	experiments -exp grid                        # dataset inventory (Sec. V, Test Datasets)
+//	experiments -exp schedule                    # cyclic vs block vs weighted assignment
+//	experiments -fig 3 -schedule weighted        # rerun a figure under another schedule
 package main
 
 import (
@@ -16,21 +18,27 @@ import (
 
 	"phylo/internal/alignment"
 	"phylo/internal/bench"
+	"phylo/internal/schedule"
 	"phylo/internal/seqsim"
 )
 
 func main() {
 	var (
-		fig    = flag.Int("fig", 0, "figure to regenerate: 3, 4, 5, or 6")
-		exp    = flag.String("exp", "", "text experiment: joint | modelopt | protein | width | grid")
-		all    = flag.Bool("all", false, "regenerate everything")
-		scale  = flag.Float64("scale", 0.04, "dataset column scale (1.0 = paper scale)")
-		rounds = flag.Int("rounds", 1, "SPR rounds per search run")
-		radius = flag.Int("radius", 3, "SPR rearrangement radius")
-		seed   = flag.Int64("seed", 42, "master seed")
-		out    = flag.String("out", "", "write output to file instead of stdout")
+		fig      = flag.Int("fig", 0, "figure to regenerate: 3, 4, 5, or 6")
+		exp      = flag.String("exp", "", "text experiment: joint | modelopt | protein | width | grid | schedule")
+		all      = flag.Bool("all", false, "regenerate everything")
+		scale    = flag.Float64("scale", 0.04, "dataset column scale (1.0 = paper scale)")
+		rounds   = flag.Int("rounds", 1, "SPR rounds per search run")
+		radius   = flag.Int("radius", 3, "SPR rearrangement radius")
+		seed     = flag.Int64("seed", 42, "master seed")
+		schedStr = flag.String("schedule", "cyclic", "pattern-to-worker assignment: cyclic | block | weighted")
+		out      = flag.String("out", "", "write output to file instead of stdout")
 	)
 	flag.Parse()
+	sched, err := schedule.Parse(*schedStr)
+	if err != nil {
+		fatal(err)
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -41,9 +49,8 @@ func main() {
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
 	}
-	cfg := bench.FigureConfig{Scale: *scale, SearchRounds: *rounds, SearchRadius: *radius, Seed: *seed, Out: w}
+	cfg := bench.FigureConfig{Scale: *scale, SearchRounds: *rounds, SearchRadius: *radius, Seed: *seed, Schedule: sched, Out: w}
 
-	var err error
 	switch {
 	case *all:
 		err = bench.RunAll(cfg)
@@ -63,6 +70,8 @@ func main() {
 		err = bench.ProteinExperiment(cfg)
 	case *exp == "width":
 		err = bench.WidthMicrobench(cfg)
+	case *exp == "schedule":
+		err = bench.ScheduleExperiment(cfg)
 	case *exp == "grid":
 		err = gridInventory(cfg)
 	default:

@@ -29,6 +29,7 @@ func main() {
 		mode      = flag.String("mode", "eval", "analysis: eval | modelopt | search")
 		threads   = flag.Int("threads", 1, "worker count")
 		strategy  = flag.String("strategy", "new", "parallelization strategy: old | new")
+		schedFlag = flag.String("schedule", "cyclic", "pattern-to-worker assignment: cyclic | block | weighted")
 		perPart   = flag.Bool("perpart", false, "per-partition branch lengths")
 		virtual   = flag.Bool("virtual", false, "virtual workers + platform pricing instead of real goroutines")
 		seed      = flag.Int64("seed", 42, "random seed (datasets and starting tree)")
@@ -46,9 +47,14 @@ func main() {
 	if strings.HasPrefix(strings.ToLower(*strategy), "old") {
 		strat = phylo.OldPar
 	}
+	sched, err := phylo.ParseScheduleStrategy(*schedFlag)
+	if err != nil {
+		fatal(err)
+	}
 	opts := phylo.Options{
 		Threads:                   *threads,
 		Strategy:                  strat,
+		Schedule:                  sched,
 		PerPartitionBranchLengths: *perPart,
 		VirtualThreads:            *virtual,
 		Seed:                      *seed,
@@ -66,8 +72,8 @@ func main() {
 	}
 	defer an.Close()
 
-	fmt.Printf("dataset: %d taxa, %d sites, %d partitions; strategy %v, %d threads\n",
-		al.NumTaxa(), al.NumSites(), al.NumPartitions(), strat, *threads)
+	fmt.Printf("dataset: %d taxa, %d sites, %d partitions; strategy %v, schedule %v, %d threads\n",
+		al.NumTaxa(), al.NumSites(), al.NumPartitions(), strat, sched, *threads)
 
 	var lnl float64
 	switch *mode {
@@ -90,7 +96,8 @@ func main() {
 	}
 	fmt.Printf("log likelihood: %.4f\n", lnl)
 	st := an.Stats()
-	fmt.Printf("parallel regions (barriers): %d   load imbalance: %.2f\n", st.Regions, st.Imbalance)
+	fmt.Printf("parallel regions (barriers): %d   load imbalance: %.2f   worker imbalance: %.3f\n",
+		st.Regions, st.Imbalance, st.WorkerImbalance)
 	if *virtual {
 		for _, p := range []string{"Nehalem", "Clovertown", "Barcelona", "x4600"} {
 			if s, err := an.PlatformSeconds(p); err == nil {

@@ -8,8 +8,8 @@ import (
 // compression: distinct column patterns with multiplicities (weights), plus
 // per-taxon encoded tip states per pattern. Patterns of all partitions are
 // laid out consecutively in a single global pattern index space; Offset is
-// this partition's first global pattern index. This layout is what the
-// parallel runtime distributes cyclically over workers.
+// this partition's first global pattern index. This layout is what
+// internal/schedule assigns to workers (cyclically by default).
 type CompressedPartition struct {
 	Name         string
 	Type         DataType

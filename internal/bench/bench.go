@@ -16,6 +16,7 @@ import (
 	"phylo/internal/model"
 	"phylo/internal/opt"
 	"phylo/internal/parallel"
+	"phylo/internal/schedule"
 	"phylo/internal/search"
 	"phylo/internal/seqsim"
 	"phylo/internal/tree"
@@ -57,6 +58,7 @@ type RunSpec struct {
 	Partitioned    bool // false collapses everything into one partition
 	PerPartitionBL bool // per-partition vs joint branch-length estimate
 	Strategy       opt.Strategy
+	Schedule       schedule.Strategy // pattern-to-worker assignment (default Cyclic)
 	Threads        int
 	Mode           Mode
 	Backend        Backend
@@ -66,7 +68,9 @@ type RunSpec struct {
 	OptimizeRates  bool  // include GTR rate optimization in ModeModelOpt
 }
 
-// Measurement is the outcome of one run.
+// Measurement is the outcome of one run. Stats carries the cumulative
+// per-worker op totals; Stats.WorkerImbalance() is the max/avg load measure
+// the schedule comparisons report.
 type Measurement struct {
 	Label           string
 	LnL             float64
@@ -117,7 +121,7 @@ func Run(spec RunSpec) (*Measurement, error) {
 		return nil, err
 	}
 	defer exec.Close()
-	eng, err := core.New(d, tr, models, exec, core.Options{Specialize: true})
+	eng, err := core.New(d, tr, models, exec, core.Options{Specialize: true, Schedule: spec.Schedule})
 	if err != nil {
 		return nil, err
 	}
@@ -142,7 +146,7 @@ func Run(spec RunSpec) (*Measurement, error) {
 	wall := time.Since(start).Seconds()
 
 	m := &Measurement{
-		Label:       fmt.Sprintf("%s %s T=%d", ds.Name, spec.Strategy, spec.Threads),
+		Label:       fmt.Sprintf("%s %s/%s T=%d", ds.Name, spec.Strategy, spec.Schedule, spec.Threads),
 		LnL:         lnl,
 		WallSeconds: wall,
 		Stats:       *exec.Stats(),

@@ -6,6 +6,7 @@ import (
 
 	"phylo/internal/opt"
 	"phylo/internal/parallel"
+	"phylo/internal/schedule"
 	"phylo/internal/seqsim"
 )
 
@@ -19,7 +20,11 @@ type FigureConfig struct {
 	SearchRounds int
 	SearchRadius int
 	Seed         int64
-	Out          io.Writer
+	// Schedule applies a pattern-to-worker strategy to every figure run
+	// (default Cyclic, the paper's distribution); ScheduleExperiment compares
+	// all strategies regardless of this setting.
+	Schedule schedule.Strategy
+	Out      io.Writer
 }
 
 // DefaultFigureConfig returns laptop-scale defaults.
@@ -66,6 +71,7 @@ func runtimeFigure(cfg FigureConfig, title string, ds *seqsim.Dataset) error {
 			Partitioned:    true,
 			PerPartitionBL: true,
 			Strategy:       bar.strategy,
+			Schedule:       cfg.Schedule,
 			Threads:        bar.threads,
 			Mode:           ModeSearch,
 			Backend:        BackendSim,
@@ -174,6 +180,7 @@ func Figure6(cfg FigureConfig) error {
 				Partitioned:    s.partitioned,
 				PerPartitionBL: s.partitioned,
 				Strategy:       s.strategy,
+				Schedule:       cfg.Schedule,
 				Threads:        t,
 				Mode:           ModeSearch,
 				Backend:        BackendSim,
@@ -214,6 +221,7 @@ func JointBLExperiment(cfg FigureConfig) error {
 				Partitioned:    true,
 				PerPartitionBL: false, // joint estimate
 				Strategy:       strat,
+				Schedule:       cfg.Schedule,
 				Threads:        8,
 				Mode:           mode,
 				Backend:        BackendSim,
@@ -284,6 +292,7 @@ func ProteinExperiment(cfg FigureConfig) error {
 				Partitioned:    true,
 				PerPartitionBL: true,
 				Strategy:       strat,
+				Schedule:       cfg.Schedule,
 				Threads:        8,
 				Mode:           ModeSearch,
 				Backend:        BackendSim,
@@ -319,6 +328,7 @@ func WidthMicrobench(cfg FigureConfig) error {
 				Partitioned:    true,
 				PerPartitionBL: true,
 				Strategy:       strat,
+				Schedule:       cfg.Schedule,
 				Threads:        threads,
 				Mode:           ModeModelOpt,
 				Backend:        BackendSim,
@@ -337,11 +347,62 @@ func WidthMicrobench(cfg FigureConfig) error {
 	return nil
 }
 
-// RunAll regenerates every figure and text result in paper order.
+// MixedScheduleDataset is the reference workload for comparing scheduling
+// strategies: 24 taxa, 12 DNA + 6 protein partitions with jittered lengths,
+// so per-pattern cost varies ~25x across the global pattern space.
+func MixedScheduleDataset(cfg FigureConfig) (*seqsim.Dataset, error) {
+	return seqsim.MixedDataset(24, 12, 6, 1000, cfg.Scale, cfg.Seed+8)
+}
+
+// ScheduleExperiment compares the pattern-to-worker scheduling strategies
+// (cyclic, block, weighted) on a mixed DNA+AA partitioned workload. The
+// quantity under test is the max/avg cumulative per-worker op imbalance: the
+// cyclic distribution balances every partition by pattern COUNT, so the ±1
+// remainder patterns — worth ~25x more in the protein partitions — land on
+// arithmetically determined workers, while the weighted LPT assignment
+// places them by accumulated COST. Block is the paper's negative control.
+func ScheduleExperiment(cfg FigureConfig) error {
+	fmt.Fprintln(cfg.Out, "=== Schedule strategies: mixed DNA+AA partitioned workload, model-opt 8T ===")
+	ds, err := MixedScheduleDataset(cfg)
+	if err != nil {
+		return err
+	}
+	st := ds.Stats()
+	fmt.Fprintf(cfg.Out, "dataset %s: %d taxa, %d partitions, %d..%d columns/partition (scale %.3g)\n",
+		ds.Name, ds.Alignment.NumTaxa(), st.NumPartitions, st.MinPatterns, st.MaxPatterns, cfg.Scale)
+	imbal := map[schedule.Strategy]float64{}
+	for _, strat := range []schedule.Strategy{schedule.Cyclic, schedule.Block, schedule.Weighted} {
+		m, err := Run(RunSpec{
+			Dataset:        ds,
+			Partitioned:    true,
+			PerPartitionBL: true,
+			Strategy:       opt.NewPar,
+			Schedule:       strat,
+			Threads:        8,
+			Mode:           ModeModelOpt,
+			Backend:        BackendSim,
+			TreeSeed:       cfg.Seed + 100,
+		})
+		if err != nil {
+			return err
+		}
+		imbal[strat] = m.Stats.WorkerImbalance()
+		fmt.Fprintf(cfg.Out, "%-9s worker-imbalance=%.4f criticalOps=%.4g regions=%-8d Barcelona=%.1fs lnL=%.2f\n",
+			strat, m.Stats.WorkerImbalance(), m.Stats.CriticalOps, m.Stats.Regions,
+			m.PlatformSeconds[parallel.Barcelona.Name], m.LnL)
+	}
+	fmt.Fprintf(cfg.Out, "weighted/cyclic imbalance ratio: %.4f (<= 1 means the cost-aware assignment wins)\n\n",
+		imbal[schedule.Weighted]/imbal[schedule.Cyclic])
+	return nil
+}
+
+// RunAll regenerates every figure and text result in paper order, then the
+// reproduction's own schedule-strategy comparison.
 func RunAll(cfg FigureConfig) error {
 	steps := []func(FigureConfig) error{
 		Figure3, Figure4, Figure5, Figure6,
 		JointBLExperiment, ModelOptExperiment, ProteinExperiment, WidthMicrobench,
+		ScheduleExperiment,
 	}
 	for _, f := range steps {
 		if err := f(cfg); err != nil {

@@ -35,6 +35,10 @@ func (e *Engine) PrepareSumtable(p *tree.Node, active []bool) {
 }
 
 func (e *Engine) sumtablePartition(p, q *tree.Node, ip, w int) float64 {
+	runs := e.workRuns(w, ip)
+	if len(runs) == 0 {
+		return 0
+	}
 	part := e.Data.Parts[ip]
 	s := part.Type.States()
 	cats := e.numCats
@@ -61,42 +65,43 @@ func (e *Engine) sumtablePartition(p, q *tree.Node, ip, w int) float64 {
 		qv = e.clv(q.Index)
 	}
 	count := 0
-	start, end, step := e.workRange(part.Offset, part.End(), w)
-	for i := start; i < end; i += step {
-		j := i - part.Offset
-		off := base + j*cs
-		soff := sbase + j*cs
-		var xl, xr []float64
-		if pTip {
-			xl = alignment.TipVector(part.Type, pRow[j])
-		} else {
-			xl = pv[off : off+cs]
-		}
-		if qTip {
-			xr = alignment.TipVector(part.Type, qRow[j])
-		} else {
-			xr = qv[off : off+cs]
-		}
-		for c := 0; c < cats; c++ {
-			cl := xl
-			if !pTip {
-				cl = xl[c*s : (c+1)*s]
+	for _, run := range runs {
+		for i := run.Lo; i < run.Hi; i += run.Step {
+			j := i - part.Offset
+			off := base + j*cs
+			soff := sbase + j*cs
+			var xl, xr []float64
+			if pTip {
+				xl = alignment.TipVector(part.Type, pRow[j])
+			} else {
+				xl = pv[off : off+cs]
 			}
-			cr := xr
-			if !qTip {
-				cr = xr[c*s : (c+1)*s]
+			if qTip {
+				xr = alignment.TipVector(part.Type, qRow[j])
+			} else {
+				xr = qv[off : off+cs]
 			}
-			dst := e.sumtable[soff+c*s : soff+(c+1)*s]
-			for k := 0; k < s; k++ {
-				lproj, rproj := 0.0, 0.0
-				for a := 0; a < s; a++ {
-					lproj += freqs[a] * cl[a] * v[a*s+k]
-					rproj += vi[k*s+a] * cr[a]
+			for c := 0; c < cats; c++ {
+				cl := xl
+				if !pTip {
+					cl = xl[c*s : (c+1)*s]
 				}
-				dst[k] = lproj * rproj * invCats
+				cr := xr
+				if !qTip {
+					cr = xr[c*s : (c+1)*s]
+				}
+				dst := e.sumtable[soff+c*s : soff+(c+1)*s]
+				for k := 0; k < s; k++ {
+					lproj, rproj := 0.0, 0.0
+					for a := 0; a < s; a++ {
+						lproj += freqs[a] * cl[a] * v[a*s+k]
+						rproj += vi[k*s+a] * cr[a]
+					}
+					dst[k] = lproj * rproj * invCats
+				}
 			}
+			count++
 		}
-		count++
 	}
 	return float64(count) * opsSumtable(s, cats)
 }
@@ -136,6 +141,10 @@ func (e *Engine) BranchDerivatives(z []float64, active []bool, d1, d2 []float64)
 }
 
 func (e *Engine) derivativePartition(ip int, z float64, w int, partials, ex []float64) float64 {
+	runs := e.workRuns(w, ip)
+	if len(runs) == 0 {
+		return 0
+	}
 	part := e.Data.Parts[ip]
 	s := part.Type.States()
 	cats := e.numCats
@@ -158,28 +167,29 @@ func (e *Engine) derivativePartition(ip int, z float64, w int, partials, ex []fl
 	}
 	dd1, dd2 := 0.0, 0.0
 	count := 0
-	start, end, step := e.workRange(part.Offset, part.End(), w)
-	for i := start; i < end; i += step {
-		j := i - part.Offset
-		soff := sbase + j*cs
-		l, l1, l2 := 0.0, 0.0, 0.0
-		for k := 0; k < cs; k++ {
-			a := e.sumtable[soff+k] * eTab[k]
-			l += a
-			l1 += a * g1Tab[k]
-			l2 += a * g2Tab[k]
+	for _, run := range runs {
+		for i := run.Lo; i < run.Hi; i += run.Step {
+			j := i - part.Offset
+			soff := sbase + j*cs
+			l, l1, l2 := 0.0, 0.0, 0.0
+			for k := 0; k < cs; k++ {
+				a := e.sumtable[soff+k] * eTab[k]
+				l += a
+				l1 += a * g1Tab[k]
+				l2 += a * g2Tab[k]
+			}
+			if l < 1e-300 {
+				// Scaled likelihood vanished; the pattern cannot inform this
+				// branch numerically. Skip it (RAxML guards identically).
+				continue
+			}
+			inv := 1 / l
+			r1 := l1 * inv
+			wgt := part.Weights[j]
+			dd1 += wgt * r1
+			dd2 += wgt * (l2*inv - r1*r1)
+			count++
 		}
-		if l < 1e-300 {
-			// Scaled likelihood vanished; the pattern cannot inform this
-			// branch numerically. Skip it (RAxML guards identically).
-			continue
-		}
-		inv := 1 / l
-		r1 := l1 * inv
-		wgt := part.Weights[j]
-		dd1 += wgt * r1
-		dd2 += wgt * (l2*inv - r1*r1)
-		count++
 	}
 	partials[2*ip] = dd1
 	partials[2*ip+1] = dd2

@@ -4,10 +4,13 @@
 // numerical scaling, and the analytic first and second branch-length
 // derivatives (sumtable scheme) that drive Newton-Raphson branch
 // optimization. All pattern loops run inside parallel regions issued to a
-// parallel.Executor with the cyclic pattern distribution described in the
-// paper; every public operation takes an optional per-partition activity
-// mask, which is the mechanism behind both oldPAR (one active partition at a
-// time) and newPAR (all non-converged partitions at once).
+// parallel.Executor; which patterns each worker touches is decided by a
+// precomputed schedule.Schedule (cyclic by default, reproducing the paper's
+// distribution, with block and cost-weighted alternatives), so the kernels
+// iterate precomputed index runs rather than hard-coding a stride. Every
+// public operation takes an optional per-partition activity mask, which is
+// the mechanism behind both oldPAR (one active partition at a time) and
+// newPAR (all non-converged partitions at once).
 package core
 
 import (
@@ -17,6 +20,7 @@ import (
 	"phylo/internal/alignment"
 	"phylo/internal/model"
 	"phylo/internal/parallel"
+	"phylo/internal/schedule"
 	"phylo/internal/tree"
 )
 
@@ -40,14 +44,8 @@ type Engine struct {
 	PerPartitionBL bool
 	// Specialize enables the unrolled 4-state DNA kernels (ablation switch).
 	Specialize bool
-	// BlockDistribution is an ablation switch: assign each worker one
-	// contiguous block of the global pattern range instead of the cyclic
-	// distribution the paper uses. Narrow (single-partition) regions then
-	// land on one or two workers only, and mixed DNA/AA alignments give
-	// some workers only cheap columns — the two imbalances the cyclic
-	// distribution exists to prevent (Sec. IV of the paper).
-	BlockDistribution bool
 
+	sched    *schedule.Schedule
 	numCats  int
 	maxS     int
 	clvBase  []int // per partition: offset into a CLV buffer
@@ -68,6 +66,11 @@ type Engine struct {
 type Options struct {
 	// Specialize enables the unrolled DNA kernels (default true via New).
 	Specialize bool
+	// Schedule selects the pattern-to-worker assignment strategy. The zero
+	// value is schedule.Cyclic, the paper's distribution; schedule.Block is
+	// the contiguous ablation; schedule.Weighted LPT-bin-packs patterns by
+	// per-pattern op cost (see internal/schedule).
+	Schedule schedule.Strategy
 }
 
 // New builds an engine. models must have one entry per partition with
@@ -132,6 +135,19 @@ func New(data *alignment.CompressedData, tr *tree.Tree, models []*model.Model, e
 	}
 	e.sumtable = make([]float64, soff)
 	t := exec.Threads()
+	spans := make([]schedule.Span, len(data.Parts))
+	for i, p := range data.Parts {
+		// The newview cost is the dominant kernel term and is proportional to
+		// the other kernels' per-pattern costs in the states/cats factors that
+		// matter for balance (the ~25x DNA vs protein gap), so it prices the
+		// weighted assignment.
+		spans[i] = schedule.Span{Lo: p.Offset, Hi: p.End(), Cost: opsNewview(p.Type.States(), numCats)}
+	}
+	sched, err := schedule.New(opts.Schedule, t, spans)
+	if err != nil {
+		return nil, err
+	}
+	e.sched = sched
 	e.evalPartials = make([][]float64, t)
 	e.derivPartials = make([][]float64, t)
 	e.pmScratch = make([][2][]float64, t)
@@ -174,26 +190,16 @@ func (e *Engine) scale(nodeIndex int) []int32 {
 	return e.scales[nodeIndex-e.Tree.NumTips()]
 }
 
-// workRange returns worker w's share of the global pattern interval
-// [lo, hi): iterate `for i := start; i < end; i += step`. Under the default
-// cyclic distribution, worker w owns the global indices congruent to w
-// modulo the thread count; under the block ablation it owns the intersection
-// of [lo, hi) with its contiguous slice of the whole pattern space.
-func (e *Engine) workRange(lo, hi, w int) (start, end, step int) {
-	t := e.Exec.Threads()
-	if e.BlockDistribution {
-		chunk := (e.Data.TotalPatterns + t - 1) / t
-		start = w * chunk
-		end = start + chunk
-		if start < lo {
-			start = lo
-		}
-		if end > hi {
-			end = hi
-		}
-		return start, end, 1
-	}
-	return parallel.StrideStart(lo, w, t), hi, t
+// Schedule exposes the precomputed pattern-to-worker assignment (for tests,
+// benchmarks, and tooling that reports per-worker load predictions).
+func (e *Engine) Schedule() *schedule.Schedule { return e.sched }
+
+// workRuns returns worker w's share of partition ip as strided [Lo, Hi)
+// global pattern index runs, ascending. An empty slice means the worker has
+// no work in this partition and must skip it entirely (no P-matrix setup, no
+// op accounting), so idle workers record zero ops.
+func (e *Engine) workRuns(w, ip int) []schedule.Run {
+	return e.sched.SpanRuns(w, ip)
 }
 
 // activeOrAll returns an all-true mask when active is nil.

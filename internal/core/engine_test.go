@@ -10,6 +10,7 @@ import (
 	"phylo/internal/alignment"
 	"phylo/internal/model"
 	"phylo/internal/parallel"
+	"phylo/internal/schedule"
 	"phylo/internal/tree"
 )
 
@@ -627,8 +628,8 @@ func TestEngineQuickProperty(t *testing.T) {
 // nil2T adapts randomAlignment's testing.T parameter for quick.Check usage.
 func nil2T() *testing.T { return &testing.T{} }
 
-func TestBlockDistributionEquivalentNumerics(t *testing.T) {
-	// The distribution ablation changes who computes what, never the result.
+func TestScheduleStrategiesEquivalentNumerics(t *testing.T) {
+	// The schedule strategy changes who computes what, never the result.
 	a := randomAlignment(t, 8, 61, alignment.DNA, 20)
 	parts, _ := alignment.UniformPartitions(a, alignment.DNA, 20)
 	models := make([]*model.Model, len(parts))
@@ -636,28 +637,29 @@ func TestBlockDistributionEquivalentNumerics(t *testing.T) {
 		models[i], _ = model.GTR(nil, nil, 4, 0.9)
 	}
 	d, _ := alignment.Compress(a, parts, alignment.CompressOptions{})
-	mk := func(block bool) float64 {
+	mk := func(strat schedule.Strategy) float64 {
 		sim, _ := parallel.NewSim(4)
 		tr, _ := tree.Random(taxaNames(8), 1, tree.RandomOptions{Seed: 33})
 		cl := make([]*model.Model, len(models))
 		for i, m := range models {
 			cl[i] = m.Clone()
 		}
-		eng, err := New(d, tr, cl, sim, Options{Specialize: true})
+		eng, err := New(d, tr, cl, sim, Options{Specialize: true, Schedule: strat})
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng.BlockDistribution = block
 		return eng.LogLikelihood()
 	}
-	cyc, blk := mk(false), mk(true)
-	if math.Abs(cyc-blk) > 1e-9*math.Abs(cyc) {
-		t.Errorf("block distribution changed the likelihood: %v vs %v", cyc, blk)
+	cyc := mk(schedule.Cyclic)
+	for _, strat := range []schedule.Strategy{schedule.Block, schedule.Weighted} {
+		if got := mk(strat); math.Abs(cyc-got) > 1e-9*math.Abs(cyc) {
+			t.Errorf("%v schedule changed the likelihood: %v vs %v", strat, got, cyc)
+		}
 	}
 }
 
-func TestBlockDistributionNarrowRegionImbalance(t *testing.T) {
-	// A single-partition (narrow) region under block distribution lands on
+func TestBlockScheduleNarrowRegionImbalance(t *testing.T) {
+	// A single-partition (narrow) region under the block schedule lands on
 	// few workers; cyclic spreads it evenly (the paper's rationale).
 	a := randomAlignment(t, 6, 80, alignment.DNA, 21)
 	parts, _ := alignment.UniformPartitions(a, alignment.DNA, 20)
@@ -666,18 +668,17 @@ func TestBlockDistributionNarrowRegionImbalance(t *testing.T) {
 		models[i], _ = model.GTR(nil, nil, 4, 1)
 	}
 	d, _ := alignment.Compress(a, parts, alignment.CompressOptions{})
-	imbalance := func(block bool) float64 {
+	imbalance := func(strat schedule.Strategy) float64 {
 		sim, _ := parallel.NewSim(4)
 		tr, _ := tree.Random(taxaNames(6), 1, tree.RandomOptions{Seed: 3})
 		cl := make([]*model.Model, len(models))
 		for i, m := range models {
 			cl[i] = m.Clone()
 		}
-		eng, err := New(d, tr, cl, sim, Options{Specialize: true})
+		eng, err := New(d, tr, cl, sim, Options{Specialize: true, Schedule: strat})
 		if err != nil {
 			t.Fatal(err)
 		}
-		eng.BlockDistribution = block
 		// Evaluate only partition 1: a narrow region.
 		mask := make([]bool, len(models))
 		mask[1] = true
@@ -687,8 +688,73 @@ func TestBlockDistributionNarrowRegionImbalance(t *testing.T) {
 		eng.Evaluate(root, mask)
 		return sim.Stats().Imbalance(4)
 	}
-	cyc, blk := imbalance(false), imbalance(true)
+	cyc, blk := imbalance(schedule.Cyclic), imbalance(schedule.Block)
 	if blk <= cyc*1.5 {
 		t.Errorf("block imbalance %v should far exceed cyclic %v on narrow regions", blk, cyc)
 	}
+	// Weighted must keep narrow regions as balanced as cyclic (same ±1 band).
+	if wtd := imbalance(schedule.Weighted); wtd > cyc*1.05 {
+		t.Errorf("weighted imbalance %v should match cyclic %v on narrow regions", wtd, cyc)
+	}
+}
+
+// TestMoreThreadsThanPatterns pins the degenerate geometry the schedule must
+// survive: more workers than global patterns. Workers without an assignment
+// must contribute exactly zero ops in every region, and the parallel result
+// must match the sequential one bit-for-bit.
+func TestMoreThreadsThanPatterns(t *testing.T) {
+	a := randomAlignment(t, 6, 5, alignment.DNA, 22)
+	parts := alignment.SinglePartition(a, alignment.DNA, "tiny")
+	d, err := alignment.Compress(a, parts, alignment.CompressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TotalPatterns >= 8 {
+		t.Fatalf("fixture too wide: %d patterns", d.TotalPatterns)
+	}
+	m, _ := model.GTR(nil, nil, 4, 0.7)
+	seqEng, err := New(d, mustTree(t, 6, 11), []*model.Model{m.Clone()}, parallel.NewSequential(), Options{Specialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := seqEng.LogLikelihood()
+	for _, strat := range []schedule.Strategy{schedule.Cyclic, schedule.Block, schedule.Weighted} {
+		sim, _ := parallel.NewSim(8)
+		eng, err := New(d, mustTree(t, 6, 11), []*model.Model{m.Clone()}, sim, Options{Specialize: true, Schedule: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := eng.Schedule()
+		if sched.Strategy() != strat || sched.Threads() != 8 || sched.Total() != d.TotalPatterns {
+			t.Errorf("engine schedule = %v/%d workers/%d patterns, want %v/8/%d",
+				sched.Strategy(), sched.Threads(), sched.Total(), strat, d.TotalPatterns)
+		}
+		// More workers than patterns: the static prediction must price the
+		// idle workers in, exactly like the runtime stats below.
+		if pred := sched.Imbalance(); pred < float64(8)/float64(d.TotalPatterns)-1e-9 {
+			t.Errorf("%v: static imbalance %v below the T/patterns floor", strat, pred)
+		}
+		if got := eng.LogLikelihood(); got != want {
+			t.Errorf("%v with 8 threads on %d patterns: lnL %v != sequential %v", strat, d.TotalPatterns, got, want)
+		}
+		st := sim.Stats()
+		busy := 0
+		for _, ops := range st.WorkerOps {
+			if ops > 0 {
+				busy++
+			}
+		}
+		if busy > d.TotalPatterns {
+			t.Errorf("%v: %d workers recorded ops for %d patterns; empty workers must record zero", strat, busy, d.TotalPatterns)
+		}
+	}
+}
+
+func mustTree(t *testing.T, taxa int, seed int64) *tree.Tree {
+	t.Helper()
+	tr, err := tree.Random(taxaNames(taxa), 1, tree.RandomOptions{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
 }

@@ -54,6 +54,10 @@ func (e *Engine) Evaluate(p *tree.Node, active []bool) (float64, []float64) {
 // evaluatePartition reduces worker w's share of one partition's site log
 // likelihoods and returns (partialSum, accumulated ops).
 func (e *Engine) evaluatePartition(p, q *tree.Node, ip, w int, pm []float64, ops float64) (float64, float64) {
+	runs := e.workRuns(w, ip)
+	if len(runs) == 0 {
+		return 0, ops
+	}
 	part := e.Data.Parts[ip]
 	s := part.Type.States()
 	cats := e.numCats
@@ -84,56 +88,57 @@ func (e *Engine) evaluatePartition(p, q *tree.Node, ip, w int, pm []float64, ops
 	freqs := m.Freqs
 	sum := 0.0
 	count := 0
-	start, end, step := e.workRange(part.Offset, part.End(), w)
-	for i := start; i < end; i += step {
-		j := i - part.Offset
-		off := base + j*cs
-		var xl, xr []float64
-		if pTip {
-			xl = alignment.TipVector(part.Type, pRow[j])
-		} else {
-			xl = pv[off : off+cs]
-		}
-		if qTip {
-			xr = alignment.TipVector(part.Type, qRow[j])
-		} else {
-			xr = qv[off : off+cs]
-		}
-		li := 0.0
-		for c := 0; c < cats; c++ {
-			pc := pm[c*ss : (c+1)*ss]
-			cl := xl
-			if !pTip {
-				cl = xl[c*s : (c+1)*s]
+	for _, run := range runs {
+		for i := run.Lo; i < run.Hi; i += run.Step {
+			j := i - part.Offset
+			off := base + j*cs
+			var xl, xr []float64
+			if pTip {
+				xl = alignment.TipVector(part.Type, pRow[j])
+			} else {
+				xl = pv[off : off+cs]
 			}
-			cr := xr
-			if !qTip {
-				cr = xr[c*s : (c+1)*s]
+			if qTip {
+				xr = alignment.TipVector(part.Type, qRow[j])
+			} else {
+				xr = qv[off : off+cs]
 			}
-			for a := 0; a < s; a++ {
-				row := a * s
-				t := 0.0
-				for b := 0; b < s; b++ {
-					t += pc[row+b] * cr[b]
+			li := 0.0
+			for c := 0; c < cats; c++ {
+				pc := pm[c*ss : (c+1)*ss]
+				cl := xl
+				if !pTip {
+					cl = xl[c*s : (c+1)*s]
 				}
-				li += freqs[a] * cl[a] * t
+				cr := xr
+				if !qTip {
+					cr = xr[c*s : (c+1)*s]
+				}
+				for a := 0; a < s; a++ {
+					row := a * s
+					t := 0.0
+					for b := 0; b < s; b++ {
+						t += pc[row+b] * cr[b]
+					}
+					li += freqs[a] * cl[a] * t
+				}
 			}
+			li *= invCats
+			sc := int32(0)
+			if !pTip {
+				sc += psc[i]
+			}
+			if !qTip {
+				sc += qsc[i]
+			}
+			if li <= 0 || math.IsNaN(li) {
+				// Fully incompatible data cannot occur with strictly positive P
+				// matrices; guard against pathological rounding anyway.
+				li = math.SmallestNonzeroFloat64
+			}
+			sum += part.Weights[j] * (math.Log(li) + float64(sc)*logMinLik)
+			count++
 		}
-		li *= invCats
-		sc := int32(0)
-		if !pTip {
-			sc += psc[i]
-		}
-		if !qTip {
-			sc += qsc[i]
-		}
-		if li <= 0 || math.IsNaN(li) {
-			// Fully incompatible data cannot occur with strictly positive P
-			// matrices; guard against pathological rounding anyway.
-			li = math.SmallestNonzeroFloat64
-		}
-		sum += part.Weights[j] * (math.Log(li) + float64(sc)*logMinLik)
-		count++
 	}
 	ops += float64(count)*opsEvaluate(s, cats) + float64(cats*s*s*s)
 	return sum, ops

@@ -24,11 +24,11 @@ func (e *Engine) TraverseRoot(p *tree.Node, partial bool, active []bool) {
 
 // ExecuteSteps executes a traversal descriptor. Every worker walks the full
 // step list and, per step and active partition, computes the two child
-// transition matrices redundantly before processing its cyclic share of the
-// patterns; this mirrors RAxML, where each Pthread computes P locally rather
-// than paying an extra synchronization to share it. The tree-search package
-// issues hand-built single-step descriptors through this entry point during
-// SPR insertion trials.
+// transition matrices redundantly before processing its scheduled share of
+// the patterns; this mirrors RAxML, where each Pthread computes P locally
+// rather than paying an extra synchronization to share it. The tree-search
+// package issues hand-built single-step descriptors through this entry point
+// during SPR insertion trials.
 func (e *Engine) ExecuteSteps(steps []tree.TraversalStep, active []bool) {
 	if len(steps) == 0 {
 		return
@@ -59,6 +59,10 @@ func (e *Engine) ExecuteSteps(steps []tree.TraversalStep, active []bool) {
 // newviewPartition recomputes worker w's share of partition ip for one
 // traversal step and returns the weighted op count.
 func (e *Engine) newviewPartition(st tree.TraversalStep, ip, w int, pmQ, pmR []float64) float64 {
+	runs := e.workRuns(w, ip)
+	if len(runs) == 0 {
+		return 0
+	}
 	part := e.Data.Parts[ip]
 	s := part.Type.States()
 	cats := e.numCats
@@ -91,52 +95,53 @@ func (e *Engine) newviewPartition(st tree.TraversalStep, ip, w int, pmQ, pmR []f
 
 	count := 0
 	fast4 := e.Specialize && s == 4
-	start, end, step := e.workRange(part.Offset, part.End(), w)
-	for i := start; i < end; i += step {
-		j := i - part.Offset
-		off := base + j*cs
-		var xq, xr []float64
-		if qTip {
-			xq = alignment.TipVector(part.Type, qRow[j])
-		} else {
-			xq = qv[off : off+cs]
-		}
-		if rTip {
-			xr = alignment.TipVector(part.Type, rRow[j])
-		} else {
-			xr = rv[off : off+cs]
-		}
-		d := dst[off : off+cs]
-		if fast4 {
-			newviewPattern4(d, xq, xr, qTip, rTip, pmQ, pmR, cats)
-		} else {
-			newviewPatternGeneric(d, xq, xr, qTip, rTip, pmQ, pmR, cats, s)
-		}
-		// Numerical scaling: when every entry of the pattern's CLV drops
-		// below the threshold, multiply the whole pattern by 2^256 and
-		// remember the exponent.
-		sc := int32(0)
-		if !qTip {
-			sc += qs[i]
-		}
-		if !rTip {
-			sc += rs[i]
-		}
-		needScale := true
-		for k := 0; k < cs; k++ {
-			if d[k] >= minLikelihood || d[k] <= -minLikelihood {
-				needScale = false
-				break
+	for _, run := range runs {
+		for i := run.Lo; i < run.Hi; i += run.Step {
+			j := i - part.Offset
+			off := base + j*cs
+			var xq, xr []float64
+			if qTip {
+				xq = alignment.TipVector(part.Type, qRow[j])
+			} else {
+				xq = qv[off : off+cs]
 			}
-		}
-		if needScale {
+			if rTip {
+				xr = alignment.TipVector(part.Type, rRow[j])
+			} else {
+				xr = rv[off : off+cs]
+			}
+			d := dst[off : off+cs]
+			if fast4 {
+				newviewPattern4(d, xq, xr, qTip, rTip, pmQ, pmR, cats)
+			} else {
+				newviewPatternGeneric(d, xq, xr, qTip, rTip, pmQ, pmR, cats, s)
+			}
+			// Numerical scaling: when every entry of the pattern's CLV drops
+			// below the threshold, multiply the whole pattern by 2^256 and
+			// remember the exponent.
+			sc := int32(0)
+			if !qTip {
+				sc += qs[i]
+			}
+			if !rTip {
+				sc += rs[i]
+			}
+			needScale := true
 			for k := 0; k < cs; k++ {
-				d[k] *= twoTo256
+				if d[k] >= minLikelihood || d[k] <= -minLikelihood {
+					needScale = false
+					break
+				}
 			}
-			sc++
+			if needScale {
+				for k := 0; k < cs; k++ {
+					d[k] *= twoTo256
+				}
+				sc++
+			}
+			dstScale[i] = sc
+			count++
 		}
-		dstScale[i] = sc
-		count++
 	}
 	// Per-pattern work plus the redundant per-worker P-matrix setup.
 	return float64(count)*opsNewview(s, cats) + float64(2*cats*s*s*s)

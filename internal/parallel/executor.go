@@ -1,9 +1,14 @@
 // Package parallel implements the fine-grained parallel runtime of the
 // likelihood kernel, mirroring the Pthreads design of RAxML described in the
-// paper: m' alignment patterns are distributed cyclically over workers, a
-// master thread issues typed parallel regions (newview, evaluate, derivative
-// computation, ...), and every region ends in a barrier, which is the
-// synchronization cost the paper's newPAR strategy amortizes.
+// paper: a master thread issues typed parallel regions (newview, evaluate,
+// derivative computation, ...) over T workers, and every region ends in a
+// barrier, which is the synchronization cost the paper's newPAR strategy
+// amortizes. Which alignment patterns each worker processes inside a region
+// is not this package's decision: the kernels consume a precomputed
+// pattern-to-worker assignment from internal/schedule (cyclic by default,
+// the paper's distribution) and report the resulting per-worker op counts
+// through WorkerCtx, so the statistics and the virtual platform model price
+// whatever assignment the schedule produced.
 //
 // Three executors share one interface:
 //
@@ -73,30 +78,11 @@ type Executor interface {
 	Close()
 }
 
-// StrideStart returns the first global pattern index >= lo owned by worker w
-// under cyclic distribution over t workers. Iterate with step t.
-func StrideStart(lo, w, t int) int {
-	r := lo % t
-	d := w - r
-	if d < 0 {
-		d += t
-	}
-	return lo + d
-}
-
-// StrideCount returns how many indices in [lo, hi) worker w owns.
-func StrideCount(lo, hi, w, t int) int {
-	s := StrideStart(lo, w, t)
-	if s >= hi {
-		return 0
-	}
-	return (hi - s + t - 1) / t
-}
-
 // Sequential is the single-worker executor.
 type Sequential struct {
 	ctx   WorkerCtx
 	stats Stats
+	ops   [1]float64
 }
 
 // NewSequential returns a sequential executor.
@@ -109,7 +95,8 @@ func (s *Sequential) Threads() int { return 1 }
 func (s *Sequential) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
 	s.ctx.Ops = 0
 	fn(0, &s.ctx)
-	s.stats.record(kind, s.ctx.Ops, s.ctx.Ops)
+	s.ops[0] = s.ctx.Ops
+	s.stats.record(kind, s.ops[:])
 }
 
 // Stats returns the accumulated statistics.

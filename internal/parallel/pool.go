@@ -9,12 +9,13 @@ import (
 // region closures over per-worker channels and signal completion through a
 // WaitGroup (the barrier). This mirrors RAxML's Pthreads master/worker
 // design, where the master generates traversal descriptors and the workers
-// execute them over their cyclic share of the alignment patterns.
+// execute them over their scheduled share of the alignment patterns.
 type Pool struct {
 	threads int
 	cmds    []chan func()
 	wg      sync.WaitGroup
 	ctxs    []WorkerCtx
+	ops     []float64 // master-side per-region op scratch
 	stats   Stats
 	closed  bool
 }
@@ -28,6 +29,7 @@ func NewPool(threads int) (*Pool, error) {
 		threads: threads,
 		cmds:    make([]chan func(), threads),
 		ctxs:    make([]WorkerCtx, threads),
+		ops:     make([]float64, threads),
 	}
 	for w := 0; w < threads; w++ {
 		p.ctxs[w].Worker = w
@@ -60,15 +62,13 @@ func (p *Pool) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
 		}
 	}
 	p.wg.Wait()
-	maxOps, sumOps := 0.0, 0.0
+	// A worker whose assignment was empty for this region left Ops at the
+	// zero it was reset to above; it enters the statistics as exactly zero
+	// rather than being skipped, so idle workers show up in the imbalance.
 	for w := 0; w < p.threads; w++ {
-		ops := p.ctxs[w].Ops
-		sumOps += ops
-		if ops > maxOps {
-			maxOps = ops
-		}
+		p.ops[w] = p.ctxs[w].Ops
 	}
-	p.stats.record(kind, maxOps, sumOps)
+	p.stats.record(kind, p.ops)
 }
 
 // Stats returns accumulated instrumentation.

@@ -12,6 +12,7 @@ package parallel
 type Sim struct {
 	threads int
 	ctx     WorkerCtx
+	ops     []float64 // per-region op scratch
 	stats   Stats
 }
 
@@ -20,7 +21,7 @@ func NewSim(threads int) (*Sim, error) {
 	if threads < 1 {
 		return nil, errBadThreads(threads)
 	}
-	return &Sim{threads: threads}, nil
+	return &Sim{threads: threads, ops: make([]float64, threads)}, nil
 }
 
 func errBadThreads(t int) error {
@@ -36,19 +37,18 @@ func (e *badThreadsError) Error() string {
 // Threads returns the virtual worker count.
 func (s *Sim) Threads() int { return s.threads }
 
-// Run executes fn serially for every virtual worker.
+// Run executes fn serially for every virtual worker. Workers whose schedule
+// assignment is empty for this region record exactly zero ops (their Ops is
+// reset before fn runs and nothing adds to it), so the virtual clock and the
+// imbalance statistics see genuine idleness rather than stale counters.
 func (s *Sim) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
-	maxOps, sumOps := 0.0, 0.0
 	for w := 0; w < s.threads; w++ {
 		s.ctx.Worker = w
 		s.ctx.Ops = 0
 		fn(w, &s.ctx)
-		sumOps += s.ctx.Ops
-		if s.ctx.Ops > maxOps {
-			maxOps = s.ctx.Ops
-		}
+		s.ops[w] = s.ctx.Ops
 	}
-	s.stats.record(kind, maxOps, sumOps)
+	s.stats.record(kind, s.ops)
 }
 
 // Stats returns accumulated instrumentation.

@@ -8,19 +8,37 @@ import (
 // Stats accumulates the two quantities that determine parallel performance in
 // the paper's analysis — how many synchronization events (regions/barriers)
 // were issued and how much bounded-by-the-slowest work each contained — plus
-// per-kind breakdowns. All updates happen on the master side of the barrier,
-// so no locking is needed.
+// per-kind breakdowns and cumulative per-worker op totals (the direct view of
+// how well the schedule's assignment balanced the run). All updates happen on
+// the master side of the barrier, so no locking is needed. Workers that a
+// region's assignment leaves empty contribute exactly zero ops, so idle
+// workers are visible in (not hidden from) the imbalance metrics.
 type Stats struct {
-	Regions      int64   // total parallel regions (= barriers for T > 1)
-	TotalOps     float64 // sum over regions of summed per-worker ops
-	CriticalOps  float64 // sum over regions of max per-worker ops (the critical path)
+	Regions      int64     // total parallel regions (= barriers for T > 1)
+	TotalOps     float64   // sum over regions of summed per-worker ops
+	CriticalOps  float64   // sum over regions of max per-worker ops (the critical path)
+	WorkerOps    []float64 // cumulative ops per worker id across all regions
 	KindRegions  [numRegionKinds]int64
 	KindCritical [numRegionKinds]float64
 }
 
-func (s *Stats) record(kind Region, maxOps, sumOps float64) {
+// record folds one region's per-worker op vector into the counters.
+func (s *Stats) record(kind Region, ops []float64) {
 	if kind < 0 || kind >= numRegionKinds {
 		kind = RegionOther
+	}
+	if len(s.WorkerOps) < len(ops) {
+		grown := make([]float64, len(ops))
+		copy(grown, s.WorkerOps)
+		s.WorkerOps = grown
+	}
+	maxOps, sumOps := 0.0, 0.0
+	for w, o := range ops {
+		s.WorkerOps[w] += o
+		sumOps += o
+		if o > maxOps {
+			maxOps = o
+		}
 	}
 	s.Regions++
 	s.TotalOps += sumOps
@@ -41,10 +59,31 @@ func (s *Stats) Imbalance(threads int) float64 {
 	return s.CriticalOps / (s.TotalOps / float64(threads))
 }
 
+// WorkerImbalance is the max/avg ratio of the cumulative per-worker op
+// totals: how unevenly the whole run's work landed on workers, independent of
+// region boundaries. 1.0 means every worker did the same total work.
+func (s *Stats) WorkerImbalance() float64 {
+	if len(s.WorkerOps) == 0 {
+		return 1
+	}
+	max, sum := 0.0, 0.0
+	for _, o := range s.WorkerOps {
+		sum += o
+		if o > max {
+			max = o
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(len(s.WorkerOps)))
+}
+
 // String renders a compact per-kind table.
 func (s *Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "regions=%d totalOps=%.3g criticalOps=%.3g\n", s.Regions, s.TotalOps, s.CriticalOps)
+	fmt.Fprintf(&b, "regions=%d totalOps=%.3g criticalOps=%.3g workerImbalance=%.3f\n",
+		s.Regions, s.TotalOps, s.CriticalOps, s.WorkerImbalance())
 	for k := Region(0); k < numRegionKinds; k++ {
 		if s.KindRegions[k] == 0 {
 			continue

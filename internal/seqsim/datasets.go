@@ -71,6 +71,44 @@ func GridDataset(taxa, sites, partLen int, scale float64, seed int64) (*Dataset,
 	return generate(name, taxa, partLens, alignment.DNA, seed)
 }
 
+// MixedDataset generates a partitioned dataset that interleaves dnaParts DNA
+// partitions with aaParts protein partitions, each of partLen columns (scaled
+// like GridDataset). Per-pattern kernel cost differs by ~25x between the two
+// data types, which makes this the reference workload for comparing
+// pattern-to-worker scheduling strategies by cost rather than by count.
+// Partition lengths are jittered deterministically (0.6..1.4x) so that the
+// per-partition remainders modulo the worker count differ, as they do in real
+// phylogenomic partition schemes.
+func MixedDataset(taxa, dnaParts, aaParts, partLen int, scale float64, seed int64) (*Dataset, error) {
+	if dnaParts < 1 || aaParts < 1 {
+		return nil, fmt.Errorf("seqsim: mixed dataset needs both DNA (%d) and AA (%d) partitions", dnaParts, aaParts)
+	}
+	scaledPart := partLen
+	if scale > 0 && scale < 1 {
+		scaledPart = int(math.Max(6, float64(partLen)*scale))
+	}
+	n := dnaParts + aaParts
+	rng := rand.New(rand.NewSource(seed + 11))
+	partLens := make([]int, n)
+	types := make([]alignment.DataType, n)
+	for i := range partLens {
+		jitter := 0.6 + 0.8*rng.Float64()
+		partLens[i] = int(math.Max(4, float64(scaledPart)*jitter))
+		types[i] = alignment.DNA
+	}
+	// Deterministic interleaving: spread AA partitions evenly across the list
+	// so neither alphabet clusters at one end of the global pattern space.
+	for k := 0; k < aaParts; k++ {
+		pos := (k*n + n/2) / aaParts % n
+		for types[pos] == alignment.AA {
+			pos = (pos + 1) % n
+		}
+		types[pos] = alignment.AA
+	}
+	name := fmt.Sprintf("mix%d_%dd%da", taxa, dnaParts, aaParts)
+	return generateTyped(name, taxa, partLens, types, seed, nil)
+}
+
 // RealWorldSpec describes the shape of one of the paper's real-world
 // phylogenomic alignments.
 type RealWorldSpec struct {
@@ -195,15 +233,26 @@ func generate(name string, taxa int, partLens []int, dt alignment.DataType, seed
 }
 
 func generateWithPresence(name string, taxa int, partLens []int, dt alignment.DataType, seed int64, presence [][]bool) (*Dataset, error) {
+	types := make([]alignment.DataType, len(partLens))
+	for i := range types {
+		types[i] = dt
+	}
+	return generateTyped(name, taxa, partLens, types, seed, presence)
+}
+
+// generateTyped is the shared generator: one model per partition with the
+// given data type, per-gene rate heterogeneity, and optional presence masks.
+func generateTyped(name string, taxa int, partLens []int, types []alignment.DataType, seed int64, presence [][]bool) (*Dataset, error) {
 	tr, err := tree.Random(TaxaNames(taxa), 1, tree.RandomOptions{Seed: seed, MeanBranchLength: 0.12})
 	if err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(seed + 3))
 	models := make([]*model.Model, len(partLens))
+	allDNA := true
 	for i := range models {
 		alpha := 0.3 + rng.Float64()*1.5 // per-gene rate heterogeneity
-		if dt == alignment.DNA {
+		if types[i] == alignment.DNA {
 			freqs := make([]float64, 4)
 			for k := range freqs {
 				freqs[k] = 0.15 + rng.Float64()*0.2
@@ -219,6 +268,7 @@ func generateWithPresence(name string, taxa int, partLens []int, dt alignment.Da
 			}
 			models[i] = m
 		} else {
+			allDNA = false
 			m, err := model.SYN20(4, alpha)
 			if err != nil {
 				return nil, err
@@ -229,7 +279,7 @@ func generateWithPresence(name string, taxa int, partLens []int, dt alignment.Da
 	// Unique columns are only enforced where the state space allows it (the
 	// paper's simulated grid); tiny scaled partitions on few taxa could
 	// otherwise exhaust the column space.
-	unique := dt == alignment.DNA && taxa >= 10
+	unique := allDNA && taxa >= 10
 	a, parts, err := Simulate(tr, models, partLens, Options{
 		Seed:          seed + 5,
 		UniqueColumns: unique,

@@ -38,6 +38,7 @@ import (
 	"phylo/internal/model"
 	"phylo/internal/opt"
 	"phylo/internal/parallel"
+	"phylo/internal/schedule"
 	"phylo/internal/search"
 	"phylo/internal/seqsim"
 	"phylo/internal/tree"
@@ -64,6 +65,26 @@ const (
 	// NewPar optimizes all partitions simultaneously (the paper's fix).
 	NewPar = opt.NewPar
 )
+
+// ScheduleStrategy selects how alignment patterns are assigned to workers
+// (see internal/schedule).
+type ScheduleStrategy = schedule.Strategy
+
+// Pattern-to-worker assignment strategies.
+const (
+	// ScheduleCyclic is the paper's distribution: pattern indices modulo the
+	// worker count (the default).
+	ScheduleCyclic = schedule.Cyclic
+	// ScheduleBlock assigns each worker one contiguous slice of the global
+	// pattern space (the ablation the paper argues against).
+	ScheduleBlock = schedule.Block
+	// ScheduleWeighted LPT-bin-packs patterns onto workers by per-pattern op
+	// cost, balancing mixed DNA/protein datasets by cost rather than count.
+	ScheduleWeighted = schedule.Weighted
+)
+
+// ParseScheduleStrategy resolves "cyclic", "block", or "weighted".
+func ParseScheduleStrategy(name string) (ScheduleStrategy, error) { return schedule.Parse(name) }
 
 // Alignment is a multiple sequence alignment plus its partition scheme.
 type Alignment struct {
@@ -165,6 +186,9 @@ type Options struct {
 	Threads int
 	// Strategy selects oldPAR or newPAR (default NewPar).
 	Strategy Strategy
+	// Schedule selects the pattern-to-worker assignment (default
+	// ScheduleCyclic, the paper's distribution).
+	Schedule ScheduleStrategy
 	// PerPartitionBranchLengths estimates a separate branch length per
 	// partition (the paper's hardest, most important case); false uses a
 	// joint estimate across partitions.
@@ -242,7 +266,7 @@ func NewAnalysis(al *Alignment, o Options) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.New(d, tr, models, exec, core.Options{Specialize: true})
+	eng, err := core.New(d, tr, models, exec, core.Options{Specialize: true, Schedule: o.Schedule})
 	if err != nil {
 		exec.Close()
 		return nil, err
@@ -327,16 +351,21 @@ type SyncStats struct {
 	CriticalOps float64
 	TotalOps    float64
 	Imbalance   float64
+	// WorkerImbalance is the max/avg ratio of cumulative per-worker op totals
+	// across the whole run — the direct measure of how well the schedule's
+	// pattern assignment balanced the work.
+	WorkerImbalance float64
 }
 
 // Stats returns the accumulated parallel runtime statistics.
 func (an *Analysis) Stats() SyncStats {
 	s := an.exec.Stats()
 	return SyncStats{
-		Regions:     s.Regions,
-		CriticalOps: s.CriticalOps,
-		TotalOps:    s.TotalOps,
-		Imbalance:   s.Imbalance(an.exec.Threads()),
+		Regions:         s.Regions,
+		CriticalOps:     s.CriticalOps,
+		TotalOps:        s.TotalOps,
+		Imbalance:       s.Imbalance(an.exec.Threads()),
+		WorkerImbalance: s.WorkerImbalance(),
 	}
 }
 
