@@ -14,6 +14,7 @@ package phylo
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -37,7 +38,7 @@ func runFigureBench(b *testing.B, ds *seqsim.Dataset, strat opt.Strategy, thread
 	var neh, barc float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m, err := bsuite.Run(bsuite.RunSpec{
+		m, err := bsuite.Run(context.Background(), bsuite.RunSpec{
 			Dataset:        ds,
 			Partitioned:    partitioned,
 			PerPartitionBL: perPartBL,
@@ -319,7 +320,7 @@ func convergenceMaskBench(b *testing.B, disable bool) {
 		cfg.DisableConvergenceMask = disable
 		o := opt.New(eng, cfg)
 		b.StartTimer()
-		o.SmoothAll()
+		o.SmoothAll(context.Background())
 		critical = sim.Stats().CriticalOps
 	}
 	b.ReportMetric(critical, "criticalOps")
@@ -359,7 +360,7 @@ func scheduleBench(b *testing.B, strat schedule.Strategy) {
 		cfg := opt.DefaultConfig(opt.OldPar) // narrow regions stress the choice
 		o := opt.New(eng, cfg)
 		b.StartTimer()
-		o.SmoothAll()
+		o.SmoothAll(context.Background())
 		imbal = sim.Stats().Imbalance(8)
 	}
 	b.ReportMetric(imbal, "imbalance")

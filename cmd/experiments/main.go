@@ -11,10 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 
 	"phylo/internal/alignment"
 	"phylo/internal/bench"
@@ -49,29 +51,33 @@ func main() {
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
 	}
+	// Ctrl-C cancels the in-flight analysis at its next synchronization
+	// region; partial output written so far is preserved.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	cfg := bench.FigureConfig{Scale: *scale, SearchRounds: *rounds, SearchRadius: *radius, Seed: *seed, Schedule: sched, Out: w}
 
 	switch {
 	case *all:
-		err = bench.RunAll(cfg)
+		err = bench.RunAll(ctx, cfg)
 	case *fig == 3:
-		err = bench.Figure3(cfg)
+		err = bench.Figure3(ctx, cfg)
 	case *fig == 4:
-		err = bench.Figure4(cfg)
+		err = bench.Figure4(ctx, cfg)
 	case *fig == 5:
-		err = bench.Figure5(cfg)
+		err = bench.Figure5(ctx, cfg)
 	case *fig == 6:
-		err = bench.Figure6(cfg)
+		err = bench.Figure6(ctx, cfg)
 	case *exp == "joint":
-		err = bench.JointBLExperiment(cfg)
+		err = bench.JointBLExperiment(ctx, cfg)
 	case *exp == "modelopt":
-		err = bench.ModelOptExperiment(cfg)
+		err = bench.ModelOptExperiment(ctx, cfg)
 	case *exp == "protein":
-		err = bench.ProteinExperiment(cfg)
+		err = bench.ProteinExperiment(ctx, cfg)
 	case *exp == "width":
-		err = bench.WidthMicrobench(cfg)
+		err = bench.WidthMicrobench(ctx, cfg)
 	case *exp == "schedule":
-		err = bench.ScheduleExperiment(cfg)
+		err = bench.ScheduleExperiment(ctx, cfg)
 	case *exp == "grid":
 		err = gridInventory(cfg)
 	default:

@@ -1,0 +1,63 @@
+// Command plkbench times the two hot likelihood kernels — evaluate and
+// newview (one full traversal) — on the real goroutine pool at several
+// thread counts and writes the results as JSON. CI runs it on every push to
+// seed the performance trajectory (BENCH_plk.json artifacts).
+//
+//	plkbench -scale 0.01 -threads 1,4,8 -out BENCH_plk.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"phylo/internal/bench"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.01, "dataset column scale (d20_20000 grid)")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		threads = flag.String("threads", "1,4,8", "comma-separated thread counts")
+		out     = flag.String("out", "BENCH_plk.json", "output JSON path (- for stdout)")
+	)
+	flag.Parse()
+
+	var counts []int
+	for _, f := range strings.Split(*threads, ",") {
+		t, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fatal(fmt.Errorf("bad thread count %q: %w", f, err))
+		}
+		counts = append(counts, t)
+	}
+	rep, err := bench.Microbench(counts, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	for _, kt := range rep.Timings {
+		fmt.Printf("T=%-2d evaluate %12.0f ns/op   newview %12.0f ns/op\n",
+			kt.Threads, kt.EvaluateNsOp, kt.NewviewNsOp)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "plkbench:", err)
+	os.Exit(1)
+}

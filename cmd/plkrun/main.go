@@ -2,18 +2,28 @@
 // optimization or a full ML tree search, sequentially or in parallel, under
 // the oldPAR or newPAR strategy, on a file-based or generated dataset.
 //
+// The dataset is built once (phylo.NewDataset) and the analysis runs as a
+// session over it; -sessions N runs N identical concurrent sessions over the
+// same dataset and verifies they agree bit-for-bit. Ctrl-C cancels the run
+// at the next synchronization-region boundary and prints the partial result.
+//
 // Examples:
 //
 //	plkrun -align data.phy -parts data.part -mode search -threads 8 -strategy new -perpart
 //	plkrun -grid d50_50000 -partlen 1000 -scale 0.02 -mode modelopt -threads 16 -virtual -strategy old
-//	plkrun -real r125_19839 -scale 0.05 -mode search -threads 8 -virtual
+//	plkrun -real r125_19839 -scale 0.05 -mode search -threads 8 -progress
+//	plkrun -grid d50_50000 -scale 0.01 -mode modelopt -threads 4 -sessions 3
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
 
 	"phylo"
 )
@@ -36,8 +46,15 @@ func main() {
 		rounds    = flag.Int("rounds", 2, "SPR rounds for -mode search")
 		radius    = flag.Int("radius", 5, "SPR rearrangement radius")
 		treePath  = flag.String("tree", "", "Newick starting tree file (default: random from -seed)")
+		progress  = flag.Bool("progress", false, "stream per-round progress events")
+		sessions  = flag.Int("sessions", 1, "concurrent identical sessions over the one dataset")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels the analysis at the next synchronization-region
+	// boundary; the partial result is still printed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	al, err := loadAlignment(*alignPath, *partsPath, *grid, *real, *partLen, *scale, *seed)
 	if err != nil {
@@ -51,12 +68,19 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := phylo.Options{
-		Threads:                   *threads,
+	ds, err := phylo.NewDataset(al, phylo.DatasetOptions{
+		Threads:        *threads,
+		Schedule:       sched,
+		VirtualThreads: *virtual,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer ds.Close()
+
+	aopts := phylo.AnalysisOptions{
 		Strategy:                  strat,
-		Schedule:                  sched,
 		PerPartitionBranchLengths: *perPart,
-		VirtualThreads:            *virtual,
 		Seed:                      *seed,
 	}
 	if *treePath != "" {
@@ -64,35 +88,37 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		opts.StartTreeNewick = strings.TrimSpace(string(nwk))
+		aopts.StartTreeNewick = strings.TrimSpace(string(nwk))
 	}
-	an, err := phylo.NewAnalysis(al, opts)
+	if *progress {
+		aopts.Progress = func(ev phylo.ProgressEvent) {
+			fmt.Printf("  [%s round %d] lnL=%.4f moves=%d/%d regions=%d workerImbalance=%.3f\n",
+				ev.Phase, ev.Round, ev.LnL, ev.MovesApplied, ev.MovesTried, ev.Regions, ev.WorkerImbalance)
+		}
+	}
+
+	fmt.Printf("dataset: %d taxa, %d sites -> %d patterns, %d partitions; strategy %v, schedule %v, %d threads\n",
+		ds.NumTaxa(), ds.NumSites(), ds.NumPatterns(), ds.NumPartitions(), strat, sched, *threads)
+
+	if *sessions > 1 {
+		if err := runConcurrent(ctx, ds, aopts, *sessions, *mode, *rounds, *radius); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	an, err := ds.NewAnalysis(aopts)
 	if err != nil {
 		fatal(err)
 	}
 	defer an.Close()
-
-	fmt.Printf("dataset: %d taxa, %d sites, %d partitions; strategy %v, schedule %v, %d threads\n",
-		al.NumTaxa(), al.NumSites(), al.NumPartitions(), strat, sched, *threads)
-
-	var lnl float64
-	switch *mode {
-	case "eval":
-		lnl = an.LogLikelihood()
-	case "modelopt":
-		lnl, err = an.OptimizeModel()
-	case "search":
-		var res phylo.SearchResult
-		res, err = an.SearchWith(phylo.SearchOptions{MaxRounds: *rounds, Radius: *radius})
-		lnl = res.LnL
-		if err == nil {
-			fmt.Printf("search: %d rounds, %d/%d moves applied\n", res.Rounds, res.MovesApplied, res.MovesTried)
-		}
-	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
-	}
-	if err != nil {
+	lnl, err := runOne(ctx, an, *mode, *rounds, *radius)
+	cancelled := errors.Is(err, context.Canceled)
+	if err != nil && !cancelled {
 		fatal(err)
+	}
+	if cancelled {
+		fmt.Println("interrupted — partial result:")
 	}
 	fmt.Printf("log likelihood: %.4f\n", lnl)
 	st := an.Stats()
@@ -106,6 +132,69 @@ func main() {
 		}
 	}
 	fmt.Printf("final tree: %s\n", an.TreeNewick())
+}
+
+// runOne executes one session's analysis and returns its log likelihood.
+func runOne(ctx context.Context, an *phylo.Analysis, mode string, rounds, radius int) (float64, error) {
+	switch mode {
+	case "eval":
+		return an.LogLikelihood(), nil
+	case "modelopt":
+		return an.OptimizeModel(ctx)
+	case "search":
+		res, err := an.SearchWith(ctx, phylo.SearchOptions{MaxRounds: rounds, Radius: radius})
+		if err == nil {
+			fmt.Printf("search: %d rounds, %d/%d moves applied\n", res.Rounds, res.MovesApplied, res.MovesTried)
+		}
+		return res.LnL, err
+	default:
+		return 0, fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+// runConcurrent opens n identical sessions over the shared dataset, runs
+// them concurrently, and verifies they produce bit-identical likelihoods.
+func runConcurrent(ctx context.Context, ds *phylo.Dataset, aopts phylo.AnalysisOptions, n int, mode string, rounds, radius int) error {
+	fmt.Printf("running %d concurrent sessions over one dataset...\n", n)
+	lnls := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		an, err := ds.NewAnalysis(aopts)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(i int, an *phylo.Analysis) {
+			defer wg.Done()
+			defer an.Close()
+			lnls[i], errs[i] = runOne(ctx, an, mode, rounds, radius)
+		}(i, an)
+	}
+	wg.Wait()
+	cancelled := false
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			if !errors.Is(errs[i], context.Canceled) {
+				return errs[i]
+			}
+			cancelled = true
+		}
+		fmt.Printf("  session %d: lnL %.6f\n", i, lnls[i])
+	}
+	if cancelled {
+		// Sessions cancel at whichever region boundary each had reached, so
+		// their partial results legitimately differ; skip the comparison.
+		fmt.Println("interrupted — partial results above")
+		return nil
+	}
+	for i := 1; i < n; i++ {
+		if lnls[i] != lnls[0] {
+			return fmt.Errorf("session %d disagrees: %v != %v", i, lnls[i], lnls[0])
+		}
+	}
+	fmt.Println("all sessions agree bit-for-bit")
+	return nil
 }
 
 func loadAlignment(alignPath, partsPath, grid, real string, partLen int, scale float64, seed int64) (*phylo.Alignment, error) {

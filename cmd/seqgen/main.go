@@ -61,6 +61,15 @@ func main() {
 	}
 	fmt.Printf("wrote %s.phy (%d taxa x %d sites) and %s.part (%d partitions)\n",
 		*out, al.NumTaxa(), al.NumSites(), *out, al.NumPartitions())
+
+	// Report what the likelihood kernel will actually see: pattern
+	// compression is the first stage of the per-dataset setup a Dataset
+	// amortizes across analysis sessions. Best-effort — the files above are
+	// already written.
+	if sites, patterns, err := al.CompressionStats(); err == nil {
+		fmt.Printf("compressed: %d sites -> %d patterns (%.1f%%)\n",
+			sites, patterns, 100*float64(patterns)/float64(sites))
+	}
 }
 
 func fatal(err error) {

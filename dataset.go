@@ -1,0 +1,175 @@
+package phylo
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"phylo/internal/alignment"
+	"phylo/internal/core"
+	"phylo/internal/model"
+	"phylo/internal/parallel"
+)
+
+// Errors returned by closed datasets and analyses. Use errors.Is to test.
+var (
+	// ErrDatasetClosed is returned when a Dataset (or an Analysis whose
+	// Dataset) is used after Close.
+	ErrDatasetClosed = errors.New("phylo: dataset used after Close")
+	// ErrAnalysisClosed is returned when an Analysis is used after Close.
+	ErrAnalysisClosed = errors.New("phylo: analysis used after Close")
+)
+
+// DatasetOptions configures the immutable, shareable half of an analysis.
+// Everything here is fixed per dataset because the precomputed state depends
+// on it: pattern compression, the CLV memory layout, the per-pattern op-cost
+// tables, and the pattern-to-worker schedules (which are computed for
+// exactly Threads workers).
+type DatasetOptions struct {
+	// Threads is the worker count (default 1). With Threads > 1 and real
+	// goroutines the Dataset owns one shared worker pool that all of its
+	// analysis sessions borrow; regions from concurrent sessions are
+	// serialized onto the same T workers, so N sessions cost one pool.
+	Threads int
+	// Schedule selects the pattern-to-worker assignment (default
+	// ScheduleCyclic, the paper's distribution). The schedule is precomputed
+	// once per dataset and shared read-only by every session.
+	Schedule ScheduleStrategy
+	// GammaCategories is the discrete-Gamma category count (default 4).
+	GammaCategories int
+	// VirtualThreads gives every analysis session its own T-worker virtual
+	// executor (serial execution on a virtual clock, see Options); sessions
+	// then price their traces independently with PlatformSeconds.
+	VirtualThreads bool
+}
+
+// Dataset is the immutable, shareable result of the per-dataset setup work
+// the paper amortizes: compressed alignment patterns and tip encodings,
+// per-partition default models (used as templates — each session clones
+// them), the CLV/sumtable memory layout, op-cost tables, and precomputed
+// worker schedules, plus the shared worker pool. Build it once with
+// NewDataset, then open any number of concurrent Analysis sessions with
+// NewAnalysis; the Dataset itself is never mutated by a session and is safe
+// for concurrent use.
+type Dataset struct {
+	names  []string
+	data   *alignment.CompressedData
+	shared *core.Shared
+	models []*model.Model // per-partition templates, cloned per session
+	pool   *parallel.Pool // shared across sessions; nil when 1 thread or virtual
+	opts   DatasetOptions
+
+	mu     sync.Mutex
+	closed bool
+	active int // open sessions
+}
+
+// NewDataset compresses the alignment, builds the per-partition model
+// templates (GTR with empirical frequencies for DNA, the fixed SYN20 matrix
+// for protein), precomputes the likelihood memory layout and the
+// pattern-to-worker schedule, and starts the shared worker pool. This is all
+// of the fixed per-dataset work; opening an additional Analysis session
+// afterwards only allocates that session's mutable state.
+func NewDataset(al *Alignment, o DatasetOptions) (*Dataset, error) {
+	if al == nil {
+		return nil, errors.New("phylo: nil alignment")
+	}
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	if o.GammaCategories <= 0 {
+		o.GammaCategories = 4
+	}
+	d, err := alignment.Compress(al.raw, al.parts, alignment.CompressOptions{})
+	if err != nil {
+		return nil, err
+	}
+	models := make([]*model.Model, len(d.Parts))
+	for i, p := range d.Parts {
+		m, err := model.DefaultFor(p, o.GammaCategories, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		models[i] = m
+	}
+	sh, err := core.NewShared(d, o.GammaCategories, o.Threads)
+	if err != nil {
+		return nil, err
+	}
+	// Precompute the dataset's default schedule eagerly so the first session
+	// doesn't pay for it; other strategies are built lazily on first use.
+	if _, err := sh.ScheduleFor(o.Schedule); err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		names:  append([]string(nil), al.raw.Names...),
+		data:   d,
+		shared: sh,
+		models: models,
+		opts:   o,
+	}
+	if o.Threads > 1 && !o.VirtualThreads {
+		ds.pool, err = parallel.NewPool(o.Threads)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// Close releases the shared worker pool. It is idempotent; closing a dataset
+// with open sessions is reported as an error (the pool is released anyway,
+// and those sessions return ErrDatasetClosed from then on).
+func (ds *Dataset) Close() error {
+	ds.mu.Lock()
+	if ds.closed {
+		ds.mu.Unlock()
+		return nil
+	}
+	ds.closed = true
+	open := ds.active
+	ds.mu.Unlock()
+	if ds.pool != nil {
+		ds.pool.Close()
+	}
+	if open > 0 {
+		return fmt.Errorf("phylo: dataset closed with %d analysis session(s) still open", open)
+	}
+	return nil
+}
+
+// isClosed reports whether Close has been called.
+func (ds *Dataset) isClosed() bool {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.closed
+}
+
+// release retires one session's claim on the dataset.
+func (ds *Dataset) release() {
+	ds.mu.Lock()
+	if ds.active > 0 {
+		ds.active--
+	}
+	ds.mu.Unlock()
+}
+
+// NumTaxa returns the sequence count.
+func (ds *Dataset) NumTaxa() int { return ds.data.NumTaxa() }
+
+// NumSites returns the (uncompressed) column count.
+func (ds *Dataset) NumSites() int { return ds.data.TotalSites }
+
+// NumPatterns returns the compressed pattern count across all partitions —
+// the width of every parallel region.
+func (ds *Dataset) NumPatterns() int { return ds.data.TotalPatterns }
+
+// NumPartitions returns the partition count.
+func (ds *Dataset) NumPartitions() int { return len(ds.data.Parts) }
+
+// Threads returns the worker count the dataset's schedules were computed
+// for (and the size of the shared pool).
+func (ds *Dataset) Threads() int { return ds.opts.Threads }
+
+// TaxonNames returns the taxon labels.
+func (ds *Dataset) TaxonNames() []string { return append([]string(nil), ds.names...) }

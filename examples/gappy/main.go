@@ -1,10 +1,13 @@
 // Gappy: partitioned analysis of a "gappy" phylogenomic alignment (Figure 2
 // of the paper): not every gene is sampled for every organism, so entire
 // taxon-partition blocks are alignment gaps. Per-partition branch lengths
-// are exactly the model the paper argues for on such data.
+// are exactly the model the paper argues for on such data — and with them,
+// every gene carries its own branch lengths on the shared topology, printed
+// here with TreeNewickForPartition.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -23,6 +26,7 @@ F  -------------------- ACGAACGGACGTACCTAGGT
 `
 
 func main() {
+	ctx := context.Background()
 	al, err := phylo.ReadPhylip(strings.NewReader(gappy))
 	if err != nil {
 		log.Fatal(err)
@@ -34,7 +38,12 @@ func main() {
 	fmt.Printf("gappy alignment: %d taxa, %d sites, %d partitions\n",
 		al.NumTaxa(), al.NumSites(), al.NumPartitions())
 
-	an, err := phylo.NewAnalysis(al, phylo.Options{
+	ds, err := phylo.NewDataset(al, phylo.DatasetOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ds.Close()
+	an, err := ds.NewAnalysis(phylo.AnalysisOptions{
 		Strategy:                  phylo.NewPar,
 		PerPartitionBranchLengths: true,
 		Seed:                      5,
@@ -44,7 +53,7 @@ func main() {
 	}
 	defer an.Close()
 
-	lnl, err := an.OptimizeModel()
+	lnl, err := an.OptimizeModel(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,6 +64,12 @@ func main() {
 		fmt.Printf("  gene%d: lnL %.4f, alpha %.3f\n", i, v, alpha)
 	}
 	fmt.Println("\nall-gap taxon blocks contribute a constant to the likelihood and")
-	fmt.Println("every gene gets its own branch lengths, Q matrix, and alpha.")
-	fmt.Printf("tree: %s\n", an.TreeNewick())
+	fmt.Println("every gene gets its own branch lengths, Q matrix, and alpha:")
+	for i := range perPart {
+		nwk, err := an.TreeNewickForPartition(i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  gene%d tree: %s\n", i, nwk)
+	}
 }

@@ -1,8 +1,11 @@
 // Quickstart: compute and optimize the likelihood of a small DNA alignment,
-// then run a short tree search — the five-minute tour of the public API.
+// then run a short tree search — the five-minute tour of the public API:
+// build a Dataset once, open an Analysis session over it, and drive the
+// long-running phases with a context and a progress stream.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -22,6 +25,8 @@ lemur    TCGAACTTACGTACGGACGAACGAACCTACGGACGAACGTAAGTACTTAAGTACCTAGGT
 `
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Load an alignment (PHYLIP); it starts as a single DNA partition.
 	al, err := phylo.ReadPhylip(strings.NewReader(smallAlignment))
 	if err != nil {
@@ -29,24 +34,41 @@ func main() {
 	}
 	fmt.Printf("alignment: %d taxa, %d sites\n", al.NumTaxa(), al.NumSites())
 
-	// 2. Build an analysis: GTR+Gamma model, random starting tree.
-	an, err := phylo.NewAnalysis(al, phylo.Options{Threads: 2, Strategy: phylo.NewPar, Seed: 7})
+	// 2. Build the immutable Dataset once: pattern compression, model
+	// templates, worker schedules, and the shared 2-worker pool.
+	ds, err := phylo.NewDataset(al, phylo.DatasetOptions{Threads: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ds.Close()
+	fmt.Printf("dataset: %d patterns after compression\n", ds.NumPatterns())
+
+	// 3. Open an analysis session: GTR+Gamma model, random starting tree,
+	// with a progress stream for the long-running phases.
+	an, err := ds.NewAnalysis(phylo.AnalysisOptions{
+		Strategy: phylo.NewPar,
+		Seed:     7,
+		Progress: func(ev phylo.ProgressEvent) {
+			fmt.Printf("   ... %s round %d: lnL %.4f\n", ev.Phase, ev.Round, ev.LnL)
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer an.Close()
 	fmt.Printf("starting log likelihood: %.4f\n", an.LogLikelihood())
 
-	// 3. Optimize branch lengths, alpha, and GTR rates on the fixed tree.
-	lnl, err := an.OptimizeModel()
+	// 4. Optimize branch lengths, alpha, and GTR rates on the fixed tree.
+	// The context cancels the run at the next synchronization region.
+	lnl, err := an.OptimizeModel(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	alpha, _ := an.Alpha(0)
 	fmt.Printf("after model optimization: %.4f (alpha = %.3f)\n", lnl, alpha)
 
-	// 4. Search for a better topology with SPR moves.
-	res, err := an.SearchWith(phylo.SearchOptions{MaxRounds: 3, Radius: 5})
+	// 5. Search for a better topology with SPR moves.
+	res, err := an.SearchWith(ctx, phylo.SearchOptions{MaxRounds: 3, Radius: 5})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -80,8 +81,13 @@ type Measurement struct {
 	PlatformSeconds map[string]float64 // virtual seconds per paper platform
 }
 
-// Run executes one configuration.
-func Run(spec RunSpec) (*Measurement, error) {
+// Run executes one configuration. ctx cancels the analysis at the next
+// synchronization-region boundary; the returned Measurement then carries the
+// partial result alongside ctx's error.
+func Run(ctx context.Context, spec RunSpec) (*Measurement, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ds := spec.Dataset
 	parts := ds.Parts
 	if !spec.Partitioned {
@@ -128,6 +134,7 @@ func Run(spec RunSpec) (*Measurement, error) {
 
 	start := time.Now()
 	var lnl float64
+	var runErr error
 	switch spec.Mode {
 	case ModeSearch:
 		cfg := search.DefaultConfig(spec.Strategy)
@@ -137,11 +144,13 @@ func Run(spec RunSpec) (*Measurement, error) {
 		if spec.SearchRadius > 0 {
 			cfg.Radius = spec.SearchRadius
 		}
-		lnl = search.New(eng, cfg).Run().LnL
+		var res search.Result
+		res, runErr = search.New(eng, cfg).Run(ctx)
+		lnl = res.LnL
 	default:
 		cfg := opt.DefaultConfig(spec.Strategy)
 		cfg.OptimizeRates = spec.OptimizeRates
-		lnl, _ = opt.New(eng, cfg).OptimizeModel()
+		lnl, _, runErr = opt.New(eng, cfg).OptimizeModel(ctx)
 	}
 	wall := time.Since(start).Seconds()
 
@@ -156,5 +165,5 @@ func Run(spec RunSpec) (*Measurement, error) {
 	for _, p := range parallel.Platforms {
 		m.PlatformSeconds[p.Name] = p.EvalSeconds(&m.Stats, spec.Threads)
 	}
-	return m, nil
+	return m, runErr
 }

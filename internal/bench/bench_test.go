@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -26,7 +27,7 @@ func TestRunModelOptBothStrategies(t *testing.T) {
 	var lnls [2]float64
 	var regions [2]int64
 	for i, strat := range []opt.Strategy{opt.OldPar, opt.NewPar} {
-		m, err := Run(RunSpec{
+		m, err := Run(context.Background(), RunSpec{
 			Dataset:        ds,
 			Partitioned:    true,
 			PerPartitionBL: true,
@@ -61,7 +62,7 @@ func TestRunModelOptBothStrategies(t *testing.T) {
 
 func TestRunSearchProducesImprovement(t *testing.T) {
 	ds := tinyDataset(t)
-	m, err := Run(RunSpec{
+	m, err := Run(context.Background(), RunSpec{
 		Dataset:        ds,
 		Partitioned:    true,
 		PerPartitionBL: true,
@@ -83,7 +84,7 @@ func TestRunSearchProducesImprovement(t *testing.T) {
 
 func TestRunUnpartitionedAndPoolBackend(t *testing.T) {
 	ds := tinyDataset(t)
-	m, err := Run(RunSpec{
+	m, err := Run(context.Background(), RunSpec{
 		Dataset:     ds,
 		Partitioned: false,
 		Strategy:    opt.NewPar,
@@ -109,7 +110,7 @@ func TestOldParSlowdownShapeAt16Threads(t *testing.T) {
 		t.Fatal(err)
 	}
 	get := func(strat opt.Strategy, threads int) float64 {
-		m, err := Run(RunSpec{
+		m, err := Run(context.Background(), RunSpec{
 			Dataset:        ds,
 			Partitioned:    true,
 			PerPartitionBL: true,
@@ -143,7 +144,7 @@ func TestWidthMicrobenchRuns(t *testing.T) {
 	cfg.Scale = 0.01
 	cfg.SearchRounds = 1
 	cfg.SearchRadius = 2
-	if err := WidthMicrobench(cfg); err != nil {
+	if err := WidthMicrobench(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -161,10 +162,35 @@ func TestFigure6SmallScale(t *testing.T) {
 	cfg.Scale = 0.005
 	cfg.SearchRounds = 1
 	cfg.SearchRadius = 1
-	if err := Figure6(cfg); err != nil {
+	if err := Figure6(context.Background(), cfg); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Unpartitioned") {
 		t.Errorf("figure 6 output malformed:\n%s", buf.String())
+	}
+}
+
+// TestMicrobenchSmoke: the kernel microbench used for the CI perf
+// trajectory produces sane, positive timings.
+func TestMicrobenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("microbench iterates testing.Benchmark; skipped in -short")
+	}
+	rep, err := Microbench([]int{1}, 0.002, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Patterns <= 0 || rep.Partitions <= 0 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if len(rep.Timings) != 1 {
+		t.Fatalf("want 1 timing, got %d", len(rep.Timings))
+	}
+	kt := rep.Timings[0]
+	if kt.Threads != 1 || kt.EvaluateNsOp <= 0 || kt.NewviewNsOp <= 0 {
+		t.Errorf("timing: %+v", kt)
+	}
+	if _, err := Microbench([]int{0}, 0.002, 7); err == nil {
+		t.Error("expected error for zero thread count")
 	}
 }

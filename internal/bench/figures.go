@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -58,7 +59,7 @@ var figureBars = []barSpec{
 // a full ML tree search with per-partition branch lengths on the given
 // dataset, measured sequentially and with both strategies on 8 and 16
 // threads, priced on the paper's four platforms.
-func runtimeFigure(cfg FigureConfig, title string, ds *seqsim.Dataset) error {
+func runtimeFigure(ctx context.Context, cfg FigureConfig, title string, ds *seqsim.Dataset) error {
 	fmt.Fprintf(cfg.Out, "=== %s ===\n", title)
 	st := ds.Stats()
 	fmt.Fprintf(cfg.Out, "dataset %s: %d taxa, %d partitions, %d..%d patterns/partition, %d total patterns (scale %.3g)\n",
@@ -66,7 +67,7 @@ func runtimeFigure(cfg FigureConfig, title string, ds *seqsim.Dataset) error {
 
 	results := make([]*Measurement, len(figureBars))
 	for i, bar := range figureBars {
-		m, err := Run(RunSpec{
+		m, err := Run(ctx, RunSpec{
 			Dataset:        ds,
 			Partitioned:    true,
 			PerPartitionBL: true,
@@ -123,37 +124,37 @@ func runtimeFigure(cfg FigureConfig, title string, ds *seqsim.Dataset) error {
 
 // Figure3 regenerates Figure 3: runtimes for d50_50000 with 50 partitions of
 // 1,000 columns each.
-func Figure3(cfg FigureConfig) error {
+func Figure3(ctx context.Context, cfg FigureConfig) error {
 	ds, err := seqsim.GridDataset(50, 50000, 1000, cfg.Scale, cfg.Seed)
 	if err != nil {
 		return err
 	}
-	return runtimeFigure(cfg, "Figure 3: d50_50000, 50 partitions x 1000 columns, full ML tree search, per-partition branch lengths", ds)
+	return runtimeFigure(ctx, cfg, "Figure 3: d50_50000, 50 partitions x 1000 columns, full ML tree search, per-partition branch lengths", ds)
 }
 
 // Figure4 regenerates Figure 4: runtimes for d100_50000, 50 partitions.
-func Figure4(cfg FigureConfig) error {
+func Figure4(ctx context.Context, cfg FigureConfig) error {
 	ds, err := seqsim.GridDataset(100, 50000, 1000, cfg.Scale, cfg.Seed+1)
 	if err != nil {
 		return err
 	}
-	return runtimeFigure(cfg, "Figure 4: d100_50000, 50 partitions x 1000 columns, full ML tree search, per-partition branch lengths", ds)
+	return runtimeFigure(ctx, cfg, "Figure 4: d100_50000, 50 partitions x 1000 columns, full ML tree search, per-partition branch lengths", ds)
 }
 
 // Figure5 regenerates Figure 5: runtimes for the real-world mammalian
 // dataset r125_19839 (34 partitions of 148..2705 patterns).
-func Figure5(cfg FigureConfig) error {
+func Figure5(ctx context.Context, cfg FigureConfig) error {
 	ds, err := seqsim.RealWorldDataset(seqsim.R125Spec, cfg.Scale, cfg.Seed+2)
 	if err != nil {
 		return err
 	}
-	return runtimeFigure(cfg, "Figure 5: r125_19839 (mammalian DNA stand-in), 34 variable-length partitions, full ML tree search, per-partition branch lengths", ds)
+	return runtimeFigure(ctx, cfg, "Figure 5: r125_19839 (mammalian DNA stand-in), 34 variable-length partitions, full ML tree search, per-partition branch lengths", ds)
 }
 
 // Figure6 regenerates Figure 6: speedups on the Intel Nehalem for
 // d50_50000/p1000 — unpartitioned analysis vs newPAR vs oldPAR partitioned
 // analyses on 2, 4, and 8 threads.
-func Figure6(cfg FigureConfig) error {
+func Figure6(ctx context.Context, cfg FigureConfig) error {
 	fmt.Fprintln(cfg.Out, "=== Figure 6: speedup on Nehalem, d50_50000 p1000 — Unpartitioned vs New vs Old ===")
 	ds, err := seqsim.GridDataset(50, 50000, 1000, cfg.Scale, cfg.Seed)
 	if err != nil {
@@ -175,7 +176,7 @@ func Figure6(cfg FigureConfig) error {
 	for _, s := range all {
 		times := make(map[int]float64, len(threads))
 		for _, t := range threads {
-			m, err := Run(RunSpec{
+			m, err := Run(ctx, RunSpec{
 				Dataset:        ds,
 				Partitioned:    s.partitioned,
 				PerPartitionBL: s.partitioned,
@@ -207,7 +208,7 @@ func Figure6(cfg FigureConfig) error {
 // JointBLExperiment regenerates the text result that analyses with a JOINT
 // branch-length estimate see only ~5% improvement from newPAR (both for tree
 // searches and stand-alone model optimization).
-func JointBLExperiment(cfg FigureConfig) error {
+func JointBLExperiment(ctx context.Context, cfg FigureConfig) error {
 	fmt.Fprintln(cfg.Out, "=== Text result: joint branch-length estimate, old vs new (paper: ~5%) ===")
 	ds, err := seqsim.GridDataset(50, 20000, 1000, cfg.Scale, cfg.Seed+3)
 	if err != nil {
@@ -216,7 +217,7 @@ func JointBLExperiment(cfg FigureConfig) error {
 	for _, mode := range []Mode{ModeSearch, ModeModelOpt} {
 		var times [2]float64
 		for i, strat := range []opt.Strategy{opt.OldPar, opt.NewPar} {
-			m, err := Run(RunSpec{
+			m, err := Run(ctx, RunSpec{
 				Dataset:        ds,
 				Partitioned:    true,
 				PerPartitionBL: false, // joint estimate
@@ -246,7 +247,7 @@ func JointBLExperiment(cfg FigureConfig) error {
 // optimization on a fixed tree with per-partition branch lengths (paper:
 // 5-10% improvement, smaller than tree search because a full traversal gives
 // every thread more work per synchronization).
-func ModelOptExperiment(cfg FigureConfig) error {
+func ModelOptExperiment(ctx context.Context, cfg FigureConfig) error {
 	fmt.Fprintln(cfg.Out, "=== Text result: model-parameter optimization on fixed tree, per-partition BL (paper: 5-10%) ===")
 	ds, err := seqsim.GridDataset(50, 20000, 1000, cfg.Scale, cfg.Seed+4)
 	if err != nil {
@@ -254,7 +255,7 @@ func ModelOptExperiment(cfg FigureConfig) error {
 	}
 	var times [2]float64
 	for i, strat := range []opt.Strategy{opt.OldPar, opt.NewPar} {
-		m, err := Run(RunSpec{
+		m, err := Run(ctx, RunSpec{
 			Dataset:        ds,
 			Partitioned:    true,
 			PerPartitionBL: true,
@@ -278,7 +279,7 @@ func ModelOptExperiment(cfg FigureConfig) error {
 // ProteinExperiment regenerates the text result on the two viral protein
 // datasets (paper: only 5-10% speedup difference, because the 20x20 kernels
 // do ~25x more work per column, masking the load imbalance).
-func ProteinExperiment(cfg FigureConfig) error {
+func ProteinExperiment(ctx context.Context, cfg FigureConfig) error {
 	fmt.Fprintln(cfg.Out, "=== Text result: protein datasets r26_21451 / r24_16916 (paper: 5-10%) ===")
 	for _, spec := range []seqsim.RealWorldSpec{seqsim.R26Spec, seqsim.R24Spec} {
 		ds, err := seqsim.RealWorldDataset(spec, cfg.Scale, cfg.Seed+5)
@@ -287,7 +288,7 @@ func ProteinExperiment(cfg FigureConfig) error {
 		}
 		var times [2]float64
 		for i, strat := range []opt.Strategy{opt.OldPar, opt.NewPar} {
-			m, err := Run(RunSpec{
+			m, err := Run(ctx, RunSpec{
 				Dataset:        ds,
 				Partitioned:    true,
 				PerPartitionBL: true,
@@ -315,7 +316,7 @@ func ProteinExperiment(cfg FigureConfig) error {
 // WidthMicrobench quantifies Section IV's worst case — "more threads
 // available than distinct patterns in a specific partition" — by reporting
 // idle workers and per-region imbalance for one branch-length optimization.
-func WidthMicrobench(cfg FigureConfig) error {
+func WidthMicrobench(ctx context.Context, cfg FigureConfig) error {
 	fmt.Fprintln(cfg.Out, "=== Microbench: region width vs thread count (Sec. IV worst case) ===")
 	ds, err := seqsim.GridDataset(50, 20000, 1000, cfg.Scale, cfg.Seed+6)
 	if err != nil {
@@ -323,7 +324,7 @@ func WidthMicrobench(cfg FigureConfig) error {
 	}
 	for _, threads := range []int{8, 16, 32} {
 		for i, strat := range []opt.Strategy{opt.OldPar, opt.NewPar} {
-			m, err := Run(RunSpec{
+			m, err := Run(ctx, RunSpec{
 				Dataset:        ds,
 				Partitioned:    true,
 				PerPartitionBL: true,
@@ -361,7 +362,7 @@ func MixedScheduleDataset(cfg FigureConfig) (*seqsim.Dataset, error) {
 // remainder patterns — worth ~25x more in the protein partitions — land on
 // arithmetically determined workers, while the weighted LPT assignment
 // places them by accumulated COST. Block is the paper's negative control.
-func ScheduleExperiment(cfg FigureConfig) error {
+func ScheduleExperiment(ctx context.Context, cfg FigureConfig) error {
 	fmt.Fprintln(cfg.Out, "=== Schedule strategies: mixed DNA+AA partitioned workload, model-opt 8T ===")
 	ds, err := MixedScheduleDataset(cfg)
 	if err != nil {
@@ -372,7 +373,7 @@ func ScheduleExperiment(cfg FigureConfig) error {
 		ds.Name, ds.Alignment.NumTaxa(), st.NumPartitions, st.MinPatterns, st.MaxPatterns, cfg.Scale)
 	imbal := map[schedule.Strategy]float64{}
 	for _, strat := range []schedule.Strategy{schedule.Cyclic, schedule.Block, schedule.Weighted} {
-		m, err := Run(RunSpec{
+		m, err := Run(ctx, RunSpec{
 			Dataset:        ds,
 			Partitioned:    true,
 			PerPartitionBL: true,
@@ -398,14 +399,14 @@ func ScheduleExperiment(cfg FigureConfig) error {
 
 // RunAll regenerates every figure and text result in paper order, then the
 // reproduction's own schedule-strategy comparison.
-func RunAll(cfg FigureConfig) error {
-	steps := []func(FigureConfig) error{
+func RunAll(ctx context.Context, cfg FigureConfig) error {
+	steps := []func(context.Context, FigureConfig) error{
 		Figure3, Figure4, Figure5, Figure6,
 		JointBLExperiment, ModelOptExperiment, ProteinExperiment, WidthMicrobench,
 		ScheduleExperiment,
 	}
 	for _, f := range steps {
-		if err := f(cfg); err != nil {
+		if err := f(ctx, cfg); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"phylo/internal/alignment"
+	"phylo/internal/core"
+	"phylo/internal/model"
+	"phylo/internal/parallel"
+	"phylo/internal/seqsim"
+	"phylo/internal/tree"
+)
+
+// KernelTiming is the measured ns/op of the two hot kernels at one thread
+// count: one full evaluate region at the canonical root, and one full
+// newview traversal (every inner CLV recomputed).
+type KernelTiming struct {
+	Threads      int     `json:"threads"`
+	EvaluateNsOp float64 `json:"evaluate_ns_op"`
+	NewviewNsOp  float64 `json:"newview_ns_op"`
+}
+
+// MicrobenchReport is the machine-readable kernel benchmark summary the CI
+// perf-trajectory job serializes into BENCH_plk.json.
+type MicrobenchReport struct {
+	Dataset    string         `json:"dataset"`
+	Taxa       int            `json:"taxa"`
+	Sites      int            `json:"sites"`
+	Partitions int            `json:"partitions"`
+	Patterns   int            `json:"patterns"`
+	Timings    []KernelTiming `json:"timings"`
+}
+
+// Microbench times the evaluate and newview kernels of a small-grid dataset
+// (d20_20000 with 1000-column partitions at the given scale) on the real
+// goroutine pool at each requested thread count. One immutable core.Shared
+// is reused across sessions per thread count, exactly as the public
+// Dataset/Analysis API does. Uses testing.Benchmark, so each timing is
+// iterated until statistically stable.
+func Microbench(threadCounts []int, scale float64, seed int64) (*MicrobenchReport, error) {
+	ds, err := seqsim.GridDataset(20, 20000, 1000, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	d, err := alignment.Compress(ds.Alignment, ds.Parts, alignment.CompressOptions{})
+	if err != nil {
+		return nil, err
+	}
+	models := make([]*model.Model, len(d.Parts))
+	for i, p := range d.Parts {
+		if models[i], err = model.DefaultFor(p, 4, 1.0); err != nil {
+			return nil, err
+		}
+	}
+	rep := &MicrobenchReport{
+		Dataset:    ds.Name,
+		Taxa:       d.NumTaxa(),
+		Sites:      d.TotalSites,
+		Partitions: len(d.Parts),
+		Patterns:   d.TotalPatterns,
+	}
+	for _, t := range threadCounts {
+		if t < 1 {
+			return nil, fmt.Errorf("bench: thread count %d must be positive", t)
+		}
+		pool, err := parallel.NewPool(t)
+		if err != nil {
+			return nil, err
+		}
+		sh, err := core.NewShared(d, 4, t)
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		tr, err := tree.Random(ds.Alignment.Names, len(d.Parts), tree.RandomOptions{Seed: seed + 1})
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		eng, err := core.NewSession(sh, tr, models, pool.Session(), core.Options{Specialize: true})
+		if err != nil {
+			pool.Close()
+			return nil, err
+		}
+		root := eng.Tree.Tips[0].Back
+		eng.Traverse(root, false, nil) // warm the CLVs once
+		evalRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng.Evaluate(root, nil)
+			}
+		})
+		nvRes := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng.InvalidateCLVs()
+				eng.Traverse(root, false, nil)
+			}
+		})
+		pool.Close()
+		rep.Timings = append(rep.Timings, KernelTiming{
+			Threads:      t,
+			EvaluateNsOp: float64(evalRes.NsPerOp()),
+			NewviewNsOp:  float64(nvRes.NsPerOp()),
+		})
+	}
+	return rep, nil
+}

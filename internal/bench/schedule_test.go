@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -17,7 +18,7 @@ func mixedRun(tb testing.TB, strat schedule.Strategy) *Measurement {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	m, err := Run(RunSpec{
+	m, err := Run(context.Background(), RunSpec{
 		Dataset:        ds,
 		Partitioned:    true,
 		PerPartitionBL: true,

@@ -32,7 +32,12 @@ const (
 	logMinLik     = -177.445678223345993 // ln(2^-256)
 )
 
-// Engine evaluates likelihoods for one dataset on one tree.
+// Engine evaluates likelihoods for one dataset on one tree. Since the
+// Dataset/session split it is the *mutable, per-session* half of the kernel:
+// it owns the tree, the model copies, the CLV/scaling/sumtable buffers, and
+// the per-worker scratch, while everything derived from the dataset alone
+// (compressed patterns, memory layout, schedules) lives in a Shared that any
+// number of concurrent engines borrow read-only.
 type Engine struct {
 	Data   *alignment.CompressedData
 	Tree   *tree.Tree
@@ -45,15 +50,17 @@ type Engine struct {
 	// Specialize enables the unrolled 4-state DNA kernels (ablation switch).
 	Specialize bool
 
+	shared *Shared
+
 	sched    *schedule.Schedule
 	numCats  int
 	maxS     int
-	clvBase  []int // per partition: offset into a CLV buffer
+	clvBase  []int // borrowed from shared: per-partition CLV offsets
 	clvLen   int   // total CLV floats per inner node
 	clvs     [][]float64
 	scales   [][]int32 // per inner node, per global pattern
 	sumtable []float64 // branch-derivative workspace, patterns x cats x maxS
-	sumBase  []int     // per partition offset into sumtable
+	sumBase  []int     // borrowed from shared: per-partition sumtable offsets
 
 	evalPartials  [][]float64 // per worker: per-partition lnL partials
 	derivPartials [][]float64 // per worker: per-partition (d1, d2) partials
@@ -73,26 +80,52 @@ type Options struct {
 	Schedule schedule.Strategy
 }
 
-// New builds an engine. models must have one entry per partition with
-// matching data types and a common category count; the tree must carry
-// either one branch-length slot (joint estimate) or one per partition.
+// New builds a standalone engine: session-independent state is computed on
+// the spot and not shared with anyone. models must have one entry per
+// partition with matching data types and a common category count; the tree
+// must carry either one branch-length slot (joint estimate) or one per
+// partition. Callers that run several sessions over one dataset should call
+// NewShared once and NewSession per session instead.
 func New(data *alignment.CompressedData, tr *tree.Tree, models []*model.Model, exec parallel.Executor, opts Options) (*Engine, error) {
 	if data == nil || tr == nil || exec == nil {
 		return nil, errors.New("core: nil dataset, tree, or executor")
 	}
+	if len(models) == 0 {
+		return nil, errors.New("core: no models")
+	}
+	sh, err := NewShared(data, models[0].NumCats, exec.Threads())
+	if err != nil {
+		return nil, err
+	}
+	return NewSession(sh, tr, models, exec, opts)
+}
+
+// NewSession builds a session engine over precomputed shared state: it
+// validates the session's tree, models, and executor against the dataset and
+// allocates only the per-session mutable buffers (CLVs, scaling vectors,
+// sumtable, per-worker partials and scratch). Any number of sessions may run
+// concurrently over one Shared as long as each has its own executor (or a
+// PoolSession view of a shared pool).
+func NewSession(sh *Shared, tr *tree.Tree, models []*model.Model, exec parallel.Executor, opts Options) (*Engine, error) {
+	if sh == nil || tr == nil || exec == nil {
+		return nil, errors.New("core: nil shared state, tree, or executor")
+	}
+	data := sh.Data
 	if len(models) != len(data.Parts) {
 		return nil, fmt.Errorf("core: %d models for %d partitions", len(models), len(data.Parts))
 	}
 	if tr.NumTips() != data.NumTaxa() {
 		return nil, fmt.Errorf("core: tree has %d tips, data %d taxa", tr.NumTips(), data.NumTaxa())
 	}
-	numCats := models[0].NumCats
+	if exec.Threads() != sh.Threads {
+		return nil, fmt.Errorf("core: executor has %d workers, shared schedules are for %d", exec.Threads(), sh.Threads)
+	}
 	for i, m := range models {
 		if m.Type != data.Parts[i].Type {
 			return nil, fmt.Errorf("core: model %d type %v != partition type %v", i, m.Type, data.Parts[i].Type)
 		}
-		if m.NumCats != numCats {
-			return nil, fmt.Errorf("core: model %d has %d categories, want %d", i, m.NumCats, numCats)
+		if m.NumCats != sh.NumCats {
+			return nil, fmt.Errorf("core: model %d has %d categories, want %d", i, m.NumCats, sh.NumCats)
 		}
 		if m.Dirty() {
 			return nil, fmt.Errorf("core: model %d has a stale eigendecomposition", i)
@@ -106,6 +139,10 @@ func New(data *alignment.CompressedData, tr *tree.Tree, models []*model.Model, e
 	default:
 		return nil, fmt.Errorf("core: tree has %d branch-length slots; want 1 or %d", tr.ZSlots, len(data.Parts))
 	}
+	sched, err := sh.ScheduleFor(opts.Schedule)
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		Data:           data,
 		Tree:           tr,
@@ -113,41 +150,23 @@ func New(data *alignment.CompressedData, tr *tree.Tree, models []*model.Model, e
 		Exec:           exec,
 		PerPartitionBL: perPart,
 		Specialize:     opts.Specialize,
-		numCats:        numCats,
-		maxS:           data.MaxStates(),
+		shared:         sh,
+		sched:          sched,
+		numCats:        sh.NumCats,
+		maxS:           sh.maxS,
+		clvBase:        sh.clvBase,
+		clvLen:         sh.clvLen,
+		sumBase:        sh.sumBase,
 	}
-	e.clvBase = make([]int, len(data.Parts))
-	e.sumBase = make([]int, len(data.Parts))
-	off, soff := 0, 0
-	for i, p := range data.Parts {
-		e.clvBase[i] = off
-		e.sumBase[i] = soff
-		off += p.PatternCount * numCats * p.Type.States()
-		soff += p.PatternCount * numCats * p.Type.States()
-	}
-	e.clvLen = off
 	nInner := tr.NumInner()
 	e.clvs = make([][]float64, nInner)
 	e.scales = make([][]int32, nInner)
 	for i := range e.clvs {
-		e.clvs[i] = make([]float64, off)
+		e.clvs[i] = make([]float64, sh.clvLen)
 		e.scales[i] = make([]int32, data.TotalPatterns)
 	}
-	e.sumtable = make([]float64, soff)
-	t := exec.Threads()
-	spans := make([]schedule.Span, len(data.Parts))
-	for i, p := range data.Parts {
-		// The newview cost is the dominant kernel term and is proportional to
-		// the other kernels' per-pattern costs in the states/cats factors that
-		// matter for balance (the ~25x DNA vs protein gap), so it prices the
-		// weighted assignment.
-		spans[i] = schedule.Span{Lo: p.Offset, Hi: p.End(), Cost: opsNewview(p.Type.States(), numCats)}
-	}
-	sched, err := schedule.New(opts.Schedule, t, spans)
-	if err != nil {
-		return nil, err
-	}
-	e.sched = sched
+	e.sumtable = make([]float64, sh.sumLen)
+	t := sh.Threads
 	e.evalPartials = make([][]float64, t)
 	e.derivPartials = make([][]float64, t)
 	e.pmScratch = make([][2][]float64, t)
@@ -156,13 +175,16 @@ func New(data *alignment.CompressedData, tr *tree.Tree, models []*model.Model, e
 		e.evalPartials[w] = make([]float64, len(data.Parts))
 		e.derivPartials[w] = make([]float64, 2*len(data.Parts))
 		e.pmScratch[w] = [2][]float64{
-			make([]float64, numCats*e.maxS*e.maxS),
-			make([]float64, numCats*e.maxS*e.maxS),
+			make([]float64, sh.NumCats*e.maxS*e.maxS),
+			make([]float64, sh.NumCats*e.maxS*e.maxS),
 		}
-		e.exScratch[w] = make([]float64, 3*numCats*e.maxS)
+		e.exScratch[w] = make([]float64, 3*sh.NumCats*e.maxS)
 	}
 	return e, nil
 }
+
+// Shared exposes the session-independent state backing this engine.
+func (e *Engine) Shared() *Shared { return e.shared }
 
 // NumCats returns the Gamma category count shared by all partitions.
 func (e *Engine) NumCats() int { return e.numCats }

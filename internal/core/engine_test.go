@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -757,4 +758,92 @@ func mustTree(t *testing.T, taxa int, seed int64) *tree.Tree {
 		t.Fatal(err)
 	}
 	return tr
+}
+
+// TestSharedSessionsMatchStandalone: one Shared backing several sessions
+// (including concurrent ones on a shared pool) must reproduce the
+// standalone-engine likelihood bit-for-bit, while schedules are computed
+// once and cached.
+func TestSharedSessionsMatchStandalone(t *testing.T) {
+	a := randomAlignment(t, 8, 80, alignment.DNA, 31)
+	parts, err := alignment.UniformPartitions(a, alignment.DNA, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := alignment.Compress(a, parts, alignment.CompressOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkModels := func() []*model.Model {
+		models := make([]*model.Model, len(d.Parts))
+		for i := range models {
+			models[i], _ = model.GTR(nil, nil, 4, 0.7)
+		}
+		return models
+	}
+
+	// Standalone reference on a private pool.
+	pool0, err := parallel.NewPool(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool0.Close()
+	tr0, _ := tree.Random(taxaNames(8), 1, tree.RandomOptions{Seed: 5})
+	ref, err := New(d, tr0, mkModels(), pool0, Options{Specialize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.LogLikelihood()
+
+	// Shared state + shared pool, several concurrent sessions.
+	sh, err := NewShared(d, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := sh.ScheduleFor(schedule.Cyclic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2, _ := sh.ScheduleFor(schedule.Cyclic); s2 != s1 {
+		t.Error("schedule not cached: second ScheduleFor returned a new object")
+	}
+	pool, err := parallel.NewPool(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	const n = 4
+	got := make([]float64, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		tr, err := tree.Random(taxaNames(8), 1, tree.RandomOptions{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng, err := NewSession(sh, tr, mkModels(), pool.Session(), Options{Specialize: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eng.Shared() != sh {
+			t.Fatal("session does not expose its shared state")
+		}
+		wg.Add(1)
+		go func(i int, eng *Engine) {
+			defer wg.Done()
+			got[i] = eng.LogLikelihood()
+		}(i, eng)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if got[i] != want {
+			t.Errorf("session %d lnL = %v, want bit-identical %v", i, got[i], want)
+		}
+	}
+
+	// Mismatched executor width must be rejected.
+	seq := parallel.NewSequential()
+	tr1, _ := tree.Random(taxaNames(8), 1, tree.RandomOptions{Seed: 5})
+	if _, err := NewSession(sh, tr1, mkModels(), seq, Options{}); err == nil {
+		t.Error("expected error for executor/shared thread mismatch")
+	}
 }

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"phylo/internal/alignment"
+	"phylo/internal/schedule"
+)
+
+// Shared is the immutable, session-independent half of the likelihood
+// engine: the compressed alignment, the CLV/sumtable memory layout derived
+// from it, the per-pattern op-cost spans, and a cache of pattern-to-worker
+// schedules. All of this is fixed per dataset — the paper's point is that
+// it is built once and amortized over many likelihood evaluations — so one
+// Shared can back any number of concurrent session engines (see NewSession)
+// without synchronization on the hot path: every field is read-only after
+// construction except the schedule cache, which has its own mutex.
+type Shared struct {
+	// Data is the compressed alignment (patterns, weights, tip encodings).
+	Data *alignment.CompressedData
+	// NumCats is the Gamma category count every session's models must match.
+	NumCats int
+	// Threads is the worker count the schedules are computed for; every
+	// session executor must run exactly this many workers.
+	Threads int
+
+	maxS    int
+	clvBase []int // per partition: offset into a CLV buffer
+	clvLen  int   // total CLV floats per inner node
+	sumBase []int // per partition: offset into the sumtable workspace
+	sumLen  int   // total sumtable floats
+
+	spans []schedule.Span // per-partition pattern ranges with op costs
+
+	mu     sync.Mutex
+	scheds map[schedule.Strategy]*schedule.Schedule
+}
+
+// NewShared computes the session-independent engine state for one dataset:
+// memory layout offsets and the cost-annotated pattern spans that price the
+// weighted schedule. This is the expensive-once part of engine construction.
+func NewShared(data *alignment.CompressedData, numCats, threads int) (*Shared, error) {
+	if data == nil {
+		return nil, errors.New("core: nil dataset")
+	}
+	if numCats < 1 {
+		return nil, fmt.Errorf("core: category count %d must be positive", numCats)
+	}
+	if threads < 1 {
+		return nil, fmt.Errorf("core: thread count %d must be positive", threads)
+	}
+	sh := &Shared{
+		Data:    data,
+		NumCats: numCats,
+		Threads: threads,
+		maxS:    data.MaxStates(),
+		clvBase: make([]int, len(data.Parts)),
+		sumBase: make([]int, len(data.Parts)),
+		spans:   make([]schedule.Span, len(data.Parts)),
+		scheds:  make(map[schedule.Strategy]*schedule.Schedule),
+	}
+	off, soff := 0, 0
+	for i, p := range data.Parts {
+		sh.clvBase[i] = off
+		sh.sumBase[i] = soff
+		off += p.PatternCount * numCats * p.Type.States()
+		soff += p.PatternCount * numCats * p.Type.States()
+		// The newview cost is the dominant kernel term and is proportional to
+		// the other kernels' per-pattern costs in the states/cats factors that
+		// matter for balance (the ~25x DNA vs protein gap), so it prices the
+		// weighted assignment.
+		sh.spans[i] = schedule.Span{Lo: p.Offset, Hi: p.End(), Cost: opsNewview(p.Type.States(), numCats)}
+	}
+	sh.clvLen = off
+	sh.sumLen = soff
+	return sh, nil
+}
+
+// ScheduleFor returns the pattern-to-worker assignment for a strategy,
+// computing it on first use and caching it afterwards; concurrent sessions
+// share the cached schedules. Safe for concurrent use.
+func (sh *Shared) ScheduleFor(strategy schedule.Strategy) (*schedule.Schedule, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok := sh.scheds[strategy]; ok {
+		return s, nil
+	}
+	s, err := schedule.New(strategy, sh.Threads, sh.spans)
+	if err != nil {
+		return nil, err
+	}
+	sh.scheds[strategy] = s
+	return s, nil
+}
+
+// NumPartitions returns the partition count of the underlying dataset.
+func (sh *Shared) NumPartitions() int { return len(sh.Data.Parts) }

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 
 	"phylo/internal/core"
@@ -13,6 +14,12 @@ import (
 type Optimizer struct {
 	E   *core.Engine
 	Cfg Config
+
+	// ctx is the cancellation context bound by the last top-level entry
+	// point (OptimizeModel, SmoothAll); the iterative loops poll it at
+	// synchronization-region boundaries and wind down promptly when it is
+	// cancelled, always leaving the tree and models in a consistent state.
+	ctx context.Context
 
 	// scratch
 	zvec  []float64
@@ -36,6 +43,29 @@ func New(e *core.Engine, cfg Config) *Optimizer {
 	}
 }
 
+// bind installs the cancellation context for subsequent loop checks; a nil
+// ctx means "never cancelled".
+func (o *Optimizer) bind(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o.ctx = ctx
+}
+
+// cancelled reports whether the bound context has been cancelled. It is
+// polled between parallel regions, never inside one.
+func (o *Optimizer) cancelled() bool {
+	return o.ctx != nil && o.ctx.Err() != nil
+}
+
+// ctxErr returns the bound context's cancellation cause, or nil.
+func (o *Optimizer) ctxErr() error {
+	if o.ctx == nil {
+		return nil
+	}
+	return o.ctx.Err()
+}
+
 // OptimizeBranch optimizes the branch (p, p.Back) to its ML length(s) and
 // returns the largest relative length change. With per-partition branch
 // lengths the two strategies differ exactly as in the paper:
@@ -49,6 +79,11 @@ func New(e *core.Engine, cfg Config) *Optimizer {
 // iteration already spans all partitions), matching the paper's observation
 // that joint-estimate analyses see only ~5% improvement.
 func (o *Optimizer) OptimizeBranch(p *tree.Node) float64 {
+	if o.cancelled() {
+		// Leave the branch as-is: no region is issued and the tree stays
+		// exactly as the last completed iteration left it.
+		return 0
+	}
 	e := o.E
 	// Lazily re-establish CLVs at both ends (the partial traversals that,
 	// per the paper, touch 3-4 inner vectors on average during search).
@@ -70,7 +105,7 @@ func (o *Optimizer) optimizeBranchJoint(p *tree.Node) float64 {
 	e.PrepareSumtable(p, nil)
 	z0 := p.Z[0]
 	st := numeric.NewNewtonState(z0, o.Cfg.MinBranch, o.Cfg.MaxBranch, o.Cfg.BranchTol)
-	for it := 0; it < o.Cfg.MaxNewtonIter && !st.Converged; it++ {
+	for it := 0; it < o.Cfg.MaxNewtonIter && !st.Converged && !o.cancelled(); it++ {
 		for ip := 0; ip < n; ip++ {
 			o.zvec[ip] = st.Point()
 		}
@@ -101,7 +136,7 @@ func (o *Optimizer) optimizeBranchNewPar(p *tree.Node) float64 {
 		o.mask[ip] = true
 	}
 	converged := make([]bool, n)
-	for it := 0; it < o.Cfg.MaxNewtonIter && remaining > 0; it++ {
+	for it := 0; it < o.Cfg.MaxNewtonIter && remaining > 0 && !o.cancelled(); it++ {
 		for ip := 0; ip < n; ip++ {
 			if o.mask[ip] {
 				o.zvec[ip] = o.newts[ip].Point()
@@ -137,7 +172,7 @@ func (o *Optimizer) optimizeBranchOldPar(p *tree.Node) float64 {
 	e := o.E
 	n := e.NumPartitions()
 	maxDelta := 0.0
-	for ip := 0; ip < n; ip++ {
+	for ip := 0; ip < n && !o.cancelled(); ip++ {
 		for k := range o.mask {
 			o.mask[k] = false
 		}
@@ -146,7 +181,7 @@ func (o *Optimizer) optimizeBranchOldPar(p *tree.Node) float64 {
 		slot := e.BranchSlot(ip)
 		z0 := p.Z[slot]
 		st := numeric.NewNewtonState(z0, o.Cfg.MinBranch, o.Cfg.MaxBranch, o.Cfg.BranchTol)
-		for it := 0; it < o.Cfg.MaxNewtonIter && !st.Converged; it++ {
+		for it := 0; it < o.Cfg.MaxNewtonIter && !st.Converged && !o.cancelled(); it++ {
 			o.zvec[ip] = st.Point()
 			e.BranchDerivatives(o.zvec, o.mask, o.d1, o.d2) // narrow region
 			st.Observe(o.d1[ip], o.d2[ip])
@@ -160,15 +195,25 @@ func (o *Optimizer) optimizeBranchOldPar(p *tree.Node) float64 {
 // SmoothAll sweeps branch optimization over every branch of the tree until
 // the largest relative change in a pass falls below 10x BranchTol or the
 // pass budget is exhausted, then returns the resulting log likelihood (the
-// RAxML treeEvaluate equivalent).
-func (o *Optimizer) SmoothAll() float64 {
+// RAxML treeEvaluate equivalent). If ctx is cancelled the sweep winds down
+// at the next region boundary and the returned log likelihood is still the
+// exact score of the tree in its current (partially smoothed, fully
+// consistent) state.
+func (o *Optimizer) SmoothAll(ctx context.Context) float64 {
+	o.bind(ctx)
 	e := o.E
 	start := e.Tree.Tips[0].Back
-	for pass := 0; pass < o.Cfg.SmoothPasses; pass++ {
+	for pass := 0; pass < o.Cfg.SmoothPasses && !o.cancelled(); pass++ {
 		maxDelta := o.smoothRec(start)
 		if maxDelta < 10*o.Cfg.BranchTol {
 			break
 		}
+	}
+	if o.cancelled() {
+		// The wind-down skipped trailing newviews, so discard all CLV
+		// orientations and recompute from scratch: one extra full-width
+		// region pair buys an exact score for the partially smoothed tree.
+		e.InvalidateCLVs()
 	}
 	e.TraverseRoot(start, true, nil)
 	lnl, _ := e.Evaluate(start, nil)
@@ -186,6 +231,11 @@ func (o *Optimizer) smoothRec(p *tree.Node) float64 {
 	}
 	maxDelta = math.Max(maxDelta, o.smoothRec(q.Next.Back))
 	maxDelta = math.Max(maxDelta, o.smoothRec(q.Next.Next.Back))
+	if o.cancelled() {
+		// Skip the trailing newview; SmoothAll's closing full traversal
+		// re-establishes every CLV before the final evaluation.
+		return maxDelta
+	}
 	// Restore the upward CLV at q with a single newview (RAxML's trailing
 	// newviewGeneric); the children were just refreshed by the recursion.
 	o.E.ExecuteSteps([]tree.TraversalStep{{P: q, Q: q.Next.Back, R: q.Next.Next.Back}}, nil)

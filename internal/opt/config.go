@@ -67,6 +67,13 @@ type Config struct {
 	// partitions); alpha is always optimized.
 	OptimizeRates bool
 
+	// Progress, if non-nil, is called after every completed outer
+	// model-optimization round with the 1-based round number and the round's
+	// final log likelihood. It runs on the optimizing goroutine between
+	// parallel regions, so it must be fast and must not call back into the
+	// engine.
+	Progress func(round int, lnl float64)
+
 	// DisableConvergenceMask is an ablation switch: under newPAR, keep
 	// already-converged partitions inside every parallel region instead of
 	// retiring them through the boolean convergence vector the paper

@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"context"
+
 	"phylo/internal/alignment"
 	"phylo/internal/model"
 	"phylo/internal/numeric"
@@ -38,7 +40,7 @@ func (o *Optimizer) OptimizeRatesAll() {
 			}
 		}
 	}
-	for ri := 0; ri < nRates; ri++ {
+	for ri := 0; ri < nRates && !o.cancelled(); ri++ {
 		if o.Cfg.Strategy == NewPar {
 			o.brentSimultaneous(o.rateParam(ri))
 		} else {
@@ -135,7 +137,7 @@ func (o *Optimizer) brentSimultaneous(par brentParam) {
 	}
 	proposals := make([]float64, n)
 	remaining := countTrue(active)
-	for it := 0; it < o.Cfg.MaxBrentIter && remaining > 0; it++ {
+	for it := 0; it < o.Cfg.MaxBrentIter && remaining > 0 && !o.cancelled(); it++ {
 		// Collect one proposal per active partition; retire the converged.
 		for ip := 0; ip < n; ip++ {
 			if !active[ip] {
@@ -181,7 +183,7 @@ func (o *Optimizer) brentSimultaneous(par brentParam) {
 func (o *Optimizer) brentPerPartition(par brentParam) {
 	n := o.E.NumPartitions()
 	mask := make([]bool, n)
-	for ip := 0; ip < n; ip++ {
+	for ip := 0; ip < n && !o.cancelled(); ip++ {
 		if !par.eligible(ip) {
 			continue
 		}
@@ -192,7 +194,7 @@ func (o *Optimizer) brentPerPartition(par brentParam) {
 		per := o.evalPartitions(mask)
 		st := numeric.NewBrentState(par.lo, par.get(ip), par.hi, o.Cfg.BrentTol)
 		st.Seed(-per[ip])
-		for it := 0; it < o.Cfg.MaxBrentIter; it++ {
+		for it := 0; it < o.Cfg.MaxBrentIter && !o.cancelled(); it++ {
 			x, done := st.Next()
 			if done {
 				break
@@ -209,26 +211,33 @@ func (o *Optimizer) brentPerPartition(par brentParam) {
 // OptimizeModel runs the full model-optimization loop on a fixed topology:
 // alternating branch-length smoothing, alpha optimization, and (optionally)
 // GTR rate optimization until a round improves the log likelihood by less
-// than ModelEps. It returns the final log likelihood and the rounds used.
-// This is the paper's "optimization of ML model parameters (without tree
-// search) on a fixed input tree" experiment.
-func (o *Optimizer) OptimizeModel() (float64, int) {
-	prev := o.SmoothAll()
+// than ModelEps. It returns the final log likelihood, the rounds used, and
+// the context's cancellation error if ctx was cancelled mid-run — in which
+// case the log likelihood is still the exact, usable score of the tree and
+// models as the wind-down left them. This is the paper's "optimization of
+// ML model parameters (without tree search) on a fixed input tree"
+// experiment.
+func (o *Optimizer) OptimizeModel(ctx context.Context) (float64, int, error) {
+	o.bind(ctx)
+	prev := o.SmoothAll(ctx)
 	rounds := 0
-	for r := 0; r < o.Cfg.MaxModelRounds; r++ {
+	for r := 0; r < o.Cfg.MaxModelRounds && !o.cancelled(); r++ {
 		rounds++
 		if o.Cfg.OptimizeRates {
 			o.OptimizeRatesAll()
 		}
 		o.OptimizeAlphas()
-		cur := o.SmoothAll()
+		cur := o.SmoothAll(ctx)
+		if o.Cfg.Progress != nil {
+			o.Cfg.Progress(rounds, cur)
+		}
 		if cur-prev < o.Cfg.ModelEps {
 			prev = cur
 			break
 		}
 		prev = cur
 	}
-	return prev, rounds
+	return prev, rounds, o.ctxErr()
 }
 
 func countTrue(b []bool) int {

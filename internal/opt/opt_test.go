@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -124,8 +125,8 @@ func TestOldParNewParSameOptimum(t *testing.T) {
 	fxNew := buildFixture(t, 10, 80, 20, true, seqB, 23)
 	oOld := New(fxOld.eng, DefaultConfig(OldPar))
 	oNew := New(fxNew.eng, DefaultConfig(NewPar))
-	lOld := oOld.SmoothAll()
-	lNew := oNew.SmoothAll()
+	lOld := oOld.SmoothAll(context.Background())
+	lNew := oNew.SmoothAll(context.Background())
 	if math.Abs(lOld-lNew) > 1e-4*math.Abs(lOld) {
 		t.Errorf("smoothed lnL differs: oldPAR %v vs newPAR %v", lOld, lNew)
 	}
@@ -151,8 +152,8 @@ func TestNewParUsesFarFewerRegions(t *testing.T) {
 	fxNew := buildFixture(t, 10, 120, 12, true, simNew, 31)
 	oOld := New(fxOld.eng, DefaultConfig(OldPar))
 	oNew := New(fxNew.eng, DefaultConfig(NewPar))
-	oOld.SmoothAll()
-	oNew.SmoothAll()
+	oOld.SmoothAll(context.Background())
+	oNew.SmoothAll(context.Background())
 	rOld := simOld.Stats().Regions
 	rNew := simNew.Stats().Regions
 	if rNew*2 >= rOld {
@@ -173,8 +174,8 @@ func TestJointBLStrategiesIdentical(t *testing.T) {
 	seqB := parallel.NewSequential()
 	fxOld := buildFixture(t, 8, 60, 20, false, seqA, 7)
 	fxNew := buildFixture(t, 8, 60, 20, false, seqB, 7)
-	lOld := New(fxOld.eng, DefaultConfig(OldPar)).SmoothAll()
-	lNew := New(fxNew.eng, DefaultConfig(NewPar)).SmoothAll()
+	lOld := New(fxOld.eng, DefaultConfig(OldPar)).SmoothAll(context.Background())
+	lNew := New(fxNew.eng, DefaultConfig(NewPar)).SmoothAll(context.Background())
 	if lOld != lNew {
 		t.Errorf("joint-BL smoothing must be identical: %v vs %v", lOld, lNew)
 	}
@@ -185,7 +186,7 @@ func TestSmoothAllMonotone(t *testing.T) {
 	o := New(fx.eng, DefaultConfig(NewPar))
 	prev := fx.eng.LogLikelihood()
 	for pass := 0; pass < 3; pass++ {
-		cur := o.SmoothAll()
+		cur := o.SmoothAll(context.Background())
 		if cur < prev-1e-6 {
 			t.Fatalf("pass %d: lnL decreased %v -> %v", pass, prev, cur)
 		}
@@ -244,7 +245,7 @@ func TestOptimizeModelConverges(t *testing.T) {
 	fx := buildFixture(t, 8, 80, 40, true, parallel.NewSequential(), 53)
 	o := New(fx.eng, DefaultConfig(NewPar))
 	before := fx.eng.LogLikelihood()
-	lnl, rounds := o.OptimizeModel()
+	lnl, rounds, _ := o.OptimizeModel(context.Background())
 	if lnl < before {
 		t.Errorf("model optimization decreased lnL %v -> %v", before, lnl)
 	}
@@ -252,7 +253,7 @@ func TestOptimizeModelConverges(t *testing.T) {
 		t.Errorf("rounds = %d out of range", rounds)
 	}
 	// A second run from the converged state must improve almost nothing.
-	lnl2, _ := o.OptimizeModel()
+	lnl2, _, _ := o.OptimizeModel(context.Background())
 	if lnl2-lnl > 5*o.Cfg.ModelEps {
 		t.Errorf("second optimization found %v more lnL; first did not converge", lnl2-lnl)
 	}
@@ -266,8 +267,8 @@ func TestOptimizeModelParallelMatchesSequential(t *testing.T) {
 	defer pool.Close()
 	fxSeq := buildFixture(t, 8, 60, 20, true, parallel.NewSequential(), 67)
 	fxPar := buildFixture(t, 8, 60, 20, true, pool, 67)
-	lSeq, _ := New(fxSeq.eng, DefaultConfig(NewPar)).OptimizeModel()
-	lPar, _ := New(fxPar.eng, DefaultConfig(NewPar)).OptimizeModel()
+	lSeq, _, _ := New(fxSeq.eng, DefaultConfig(NewPar)).OptimizeModel(context.Background())
+	lPar, _, _ := New(fxPar.eng, DefaultConfig(NewPar)).OptimizeModel(context.Background())
 	if math.Abs(lSeq-lPar) > 1e-6*math.Abs(lSeq) {
 		t.Errorf("parallel model optimization diverged: %v vs %v", lSeq, lPar)
 	}
@@ -305,4 +306,64 @@ func opsFullDerivWidth(fx *fixture) float64 {
 		total += float64(p.PatternCount) * float64(4*p.Type.States()*3+10)
 	}
 	return total
+}
+
+// TestOptimizeModelCancellation: cancelling the context stops the optimizer
+// at a region boundary with a finite, consistent partial result, and the
+// cancellation error is propagated (the silent-discard bug fixed in the
+// Dataset/session redesign).
+func TestOptimizeModelCancellation(t *testing.T) {
+	fx := buildFixture(t, 8, 200, 50, true, parallel.NewSequential(), 23)
+	o := New(fx.eng, DefaultConfig(NewPar))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	lnl, rounds, err := o.OptimizeModel(ctx)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if rounds != 0 {
+		t.Errorf("pre-cancelled context still ran %d rounds", rounds)
+	}
+	if math.IsNaN(lnl) || math.IsInf(lnl, 0) || lnl >= 0 {
+		t.Errorf("partial lnl = %v, want finite negative", lnl)
+	}
+	// The engine stays consistent: a fresh uncancelled run completes and
+	// can only improve on the partial score.
+	full, _, err := o.OptimizeModel(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full < lnl-1e-9 {
+		t.Errorf("post-cancel optimization got worse: %v -> %v", lnl, full)
+	}
+}
+
+// TestProgressCallback: one event per completed outer round, with the
+// round's log likelihood.
+func TestProgressCallback(t *testing.T) {
+	fx := buildFixture(t, 6, 120, 40, false, parallel.NewSequential(), 29)
+	cfg := DefaultConfig(NewPar)
+	var rounds []int
+	var lnls []float64
+	cfg.Progress = func(round int, lnl float64) {
+		rounds = append(rounds, round)
+		lnls = append(lnls, lnl)
+	}
+	o := New(fx.eng, cfg)
+	final, n, err := o.OptimizeModel(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != n {
+		t.Fatalf("%d progress events for %d rounds", len(rounds), n)
+	}
+	for i, r := range rounds {
+		if r != i+1 {
+			t.Errorf("event %d carries round %d", i, r)
+		}
+	}
+	if lnls[len(lnls)-1] != final {
+		t.Errorf("last event lnl %v != final %v", lnls[len(lnls)-1], final)
+	}
 }

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -128,10 +129,31 @@ func TestPoolCloseIdempotentAndPanicAfterClose(t *testing.T) {
 	ex.Close() // must not panic
 	defer func() {
 		if recover() == nil {
-			t.Error("Run after Close should panic")
+			t.Error("direct Run after Close should panic")
 		}
 	}()
 	ex.Run(RegionOther, func(w int, ctx *WorkerCtx) {})
+}
+
+func TestPoolSessionDegradesAfterPoolClose(t *testing.T) {
+	// A session caught mid-analysis by a pool teardown keeps working: its
+	// regions run degraded (serially on the caller) with full worker
+	// fan-out semantics and live statistics, instead of crashing.
+	pool, _ := NewPool(2)
+	sess := pool.Session()
+	pool.Close()
+	var touched int64
+	sess.Run(RegionOther, func(w int, ctx *WorkerCtx) {
+		atomic.AddInt64(&touched, 1)
+		ctx.Ops = float64(w + 1)
+	})
+	if touched != 2 {
+		t.Errorf("degraded region ran for %d workers, want 2", touched)
+	}
+	st := sess.Stats()
+	if st.Regions != 1 || st.TotalOps != 3 {
+		t.Errorf("degraded session stats: regions=%d totalOps=%v", st.Regions, st.TotalOps)
+	}
 }
 
 func TestStatsImbalance(t *testing.T) {
@@ -307,4 +329,104 @@ func TestSimMatchesPoolNumerically(t *testing.T) {
 	if a, b := run(sim), run(pool); a != b {
 		t.Errorf("Sim and Pool disagree: %v vs %v", a, b)
 	}
+}
+
+func TestPoolSessionsIsolateStats(t *testing.T) {
+	pool, err := NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	s1 := pool.Session()
+	s2 := pool.Session()
+	if s1.Threads() != 2 || s2.Threads() != 2 {
+		t.Fatalf("session threads: %d, %d", s1.Threads(), s2.Threads())
+	}
+	s1.Run(RegionNewview, func(w int, ctx *WorkerCtx) { ctx.Ops = 1 })
+	s1.Run(RegionEvaluate, func(w int, ctx *WorkerCtx) { ctx.Ops = 2 })
+	s2.Run(RegionNewview, func(w int, ctx *WorkerCtx) { ctx.Ops = 3 })
+	if got := s1.Stats().Regions; got != 2 {
+		t.Errorf("session 1 regions = %d, want 2", got)
+	}
+	if got := s2.Stats().Regions; got != 1 {
+		t.Errorf("session 2 regions = %d, want 1", got)
+	}
+	if got := pool.Stats().Regions; got != 3 {
+		t.Errorf("pool aggregate regions = %d, want 3", got)
+	}
+	if got := s2.Stats().TotalOps; got != 6 {
+		t.Errorf("session 2 total ops = %v, want 6", got)
+	}
+	// Session close is idempotent and leaves pool and sibling sessions alive.
+	s2.Close()
+	s2.Close()
+	s1.Run(RegionOther, func(w int, ctx *WorkerCtx) { ctx.Ops = 1 })
+	if got := s1.Stats().Regions; got != 3 {
+		t.Errorf("session 1 after sibling close: regions = %d, want 3", got)
+	}
+}
+
+func TestPoolConcurrentSessions(t *testing.T) {
+	// Many sessions hammer one pool concurrently; regions serialize, so each
+	// session's own computation and statistics must come out exactly as if
+	// it ran alone. Run under -race in CI.
+	pool, err := NewPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	const sessions = 8
+	const regionsPer = 50
+	var wg sync.WaitGroup
+	sums := make([]float64, sessions)
+	for s := 0; s < sessions; s++ {
+		sess := pool.Session()
+		wg.Add(1)
+		go func(s int, sess *PoolSession) {
+			defer wg.Done()
+			defer sess.Close()
+			acc := make([]float64, sess.Threads()*8) // padded per-worker cells
+			for r := 0; r < regionsPer; r++ {
+				sess.Run(RegionNewview, func(w int, ctx *WorkerCtx) {
+					acc[w*8] += float64(s + r + w)
+					ctx.Ops = float64(w + 1)
+				})
+			}
+			for w := 0; w < sess.Threads(); w++ {
+				sums[s] += acc[w*8]
+			}
+			if got := sess.Stats().Regions; got != regionsPer {
+				t.Errorf("session %d regions = %d, want %d", s, got, regionsPer)
+			}
+		}(s, sess)
+	}
+	wg.Wait()
+	for s := 0; s < sessions; s++ {
+		want := 0.0
+		for r := 0; r < regionsPer; r++ {
+			for w := 0; w < 4; w++ {
+				want += float64(s + r + w)
+			}
+		}
+		if sums[s] != want {
+			t.Errorf("session %d sum = %v, want %v", s, sums[s], want)
+		}
+	}
+	if got := pool.Stats().Regions; got != sessions*regionsPer {
+		t.Errorf("pool aggregate regions = %d, want %d", got, sessions*regionsPer)
+	}
+}
+
+func TestPoolCloseIdempotentConcurrent(t *testing.T) {
+	pool, err := NewPool(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); pool.Close() }()
+	}
+	wg.Wait()
+	pool.Close() // and once more for good measure
 }

@@ -10,14 +10,22 @@ import (
 // WaitGroup (the barrier). This mirrors RAxML's Pthreads master/worker
 // design, where the master generates traversal descriptors and the workers
 // execute them over their scheduled share of the alignment patterns.
+//
+// A Pool can be shared by several concurrent sessions (see Session): regions
+// from different sessions are serialized by an internal mutex, so each
+// region still runs with the full worker complement and no two sessions'
+// closures ever interleave inside a region. Per-session instrumentation is
+// kept by the session views; the pool itself accumulates the aggregate.
 type Pool struct {
 	threads int
 	cmds    []chan func()
 	wg      sync.WaitGroup
 	ctxs    []WorkerCtx
 	ops     []float64 // master-side per-region op scratch
-	stats   Stats
-	closed  bool
+
+	runMu  sync.Mutex // serializes regions across sessions
+	stats  Stats      // aggregate across all sessions (guarded by runMu)
+	closed bool       // guarded by runMu
 }
 
 // NewPool starts a pool with the given worker count.
@@ -46,11 +54,23 @@ func NewPool(threads int) (*Pool, error) {
 // Threads returns the worker count.
 func (p *Pool) Threads() int { return p.threads }
 
-// Run fans fn out to every worker and blocks until all complete.
+// Run fans fn out to every worker and blocks until all complete, recording
+// into the pool's aggregate statistics. Running on a closed pool is a
+// programming error and panics (session views degrade instead; see
+// PoolSession.Run).
 func (p *Pool) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
 	if p.closed {
 		panic("parallel: Run on closed Pool")
 	}
+	p.run(kind, fn, nil)
+}
+
+// run executes one region over the worker goroutines, recording into the
+// aggregate stats and, when non-nil, a session's private stats. The caller
+// must hold runMu and have checked closed.
+func (p *Pool) run(kind Region, fn func(w int, ctx *WorkerCtx), extra *Stats) {
 	p.wg.Add(p.threads)
 	for w := 0; w < p.threads; w++ {
 		w := w
@@ -68,14 +88,42 @@ func (p *Pool) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
 	for w := 0; w < p.threads; w++ {
 		p.ops[w] = p.ctxs[w].Ops
 	}
-	p.stats.record(kind, p.ops)
+	p.record(kind, extra)
 }
 
-// Stats returns accumulated instrumentation.
+// runDegraded executes one region with all T virtual workers serially on
+// the calling goroutine (identical numerics to run, like Sim). The caller
+// must hold runMu.
+func (p *Pool) runDegraded(kind Region, fn func(w int, ctx *WorkerCtx), extra *Stats) {
+	for w := 0; w < p.threads; w++ {
+		ctx := &p.ctxs[w]
+		ctx.Ops = 0
+		fn(w, ctx)
+		p.ops[w] = ctx.Ops
+	}
+	p.record(kind, extra)
+}
+
+// record folds the per-worker op scratch into the aggregate (and optional
+// session) statistics. The caller must hold runMu.
+func (p *Pool) record(kind Region, extra *Stats) {
+	p.stats.record(kind, p.ops)
+	if extra != nil {
+		extra.record(kind, p.ops)
+	}
+}
+
+// Stats returns the aggregate instrumentation across every session that ran
+// on this pool. Only read it while no session is inside Run.
 func (p *Pool) Stats() *Stats { return &p.stats }
 
-// Close terminates the worker goroutines.
+// Close terminates the worker goroutines. It is idempotent and safe to call
+// from multiple goroutines; it waits for any in-flight region to finish.
+// Direct Run calls afterwards panic; session views degrade to serial
+// execution (see PoolSession.Run).
 func (p *Pool) Close() {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
 	if p.closed {
 		return
 	}
@@ -83,4 +131,58 @@ func (p *Pool) Close() {
 	for _, ch := range p.cmds {
 		close(ch)
 	}
+}
+
+// PoolSession is a lightweight per-session view of a shared Pool. It
+// implements Executor: Run delegates to the pool (serialized against other
+// sessions) while the recorded statistics are private to the session, so N
+// concurrent analyses over one dataset each see their own region counts and
+// worker-imbalance numbers. Closing a session never closes the pool.
+type PoolSession struct {
+	pool  *Pool
+	stats Stats
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Session returns a new per-session executor view of the pool.
+func (p *Pool) Session() *PoolSession { return &PoolSession{pool: p} }
+
+// Threads returns the underlying pool's worker count.
+func (s *PoolSession) Threads() int { return s.pool.threads }
+
+// Run executes one region on the shared pool, recording into this session's
+// statistics (and the pool aggregate). If the pool was closed under this
+// session (a Dataset torn down while an analysis is mid-flight), the region
+// runs degraded — all T virtual workers serially on the caller, with
+// identical numerics — so the in-flight analysis completes instead of
+// crashing; the session's next facade entry point reports the closed
+// dataset as an error.
+func (s *PoolSession) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		panic("parallel: Run on closed PoolSession")
+	}
+	p := s.pool
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	if p.closed {
+		p.runDegraded(kind, fn, &s.stats)
+		return
+	}
+	p.run(kind, fn, &s.stats)
+}
+
+// Stats returns this session's private instrumentation.
+func (s *PoolSession) Stats() *Stats { return &s.stats }
+
+// Close retires the session view. It is idempotent and leaves the shared
+// pool (and every other session) untouched.
+func (s *PoolSession) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
 }

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -111,7 +112,7 @@ func buildSearch(t *testing.T, nTaxa, nSites int, strategy opt.Strategy, exec pa
 func TestSearchImprovesLikelihood(t *testing.T) {
 	s, eng, _ := buildSearch(t, 10, 200, opt.NewPar, parallel.NewSequential(), 5, 99)
 	before := eng.LogLikelihood()
-	res := s.Run()
+	res, _ := s.Run(context.Background())
 	if res.LnL < before {
 		t.Errorf("search decreased lnL: %v -> %v", before, res.LnL)
 	}
@@ -142,7 +143,7 @@ func TestSearchRecoversGeneratingTreeScore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	trueLnL := opt.New(engTrue, opt.DefaultConfig(opt.NewPar)).SmoothAll()
+	trueLnL := opt.New(engTrue, opt.DefaultConfig(opt.NewPar)).SmoothAll(context.Background())
 
 	start, _ := tree.Random(taxaNames(8), 1, tree.RandomOptions{Seed: 1234})
 	eng, err := core.New(d, start, []*model.Model{m.Clone()}, parallel.NewSequential(), core.Options{Specialize: true})
@@ -152,7 +153,7 @@ func TestSearchRecoversGeneratingTreeScore(t *testing.T) {
 	cfg := DefaultConfig(opt.NewPar)
 	cfg.MaxRounds = 6
 	cfg.Radius = 6
-	res := New(eng, cfg).Run()
+	res, _ := New(eng, cfg).Run(context.Background())
 	if res.LnL < trueLnL-5 {
 		t.Errorf("search lnL %v far below generating tree lnL %v", res.LnL, trueLnL)
 	}
@@ -161,8 +162,8 @@ func TestSearchRecoversGeneratingTreeScore(t *testing.T) {
 func TestSearchDeterministic(t *testing.T) {
 	s1, _, tr1 := buildSearch(t, 9, 150, opt.NewPar, parallel.NewSequential(), 3, 42)
 	s2, _, tr2 := buildSearch(t, 9, 150, opt.NewPar, parallel.NewSequential(), 3, 42)
-	r1 := s1.Run()
-	r2 := s2.Run()
+	r1, _ := s1.Run(context.Background())
+	r2, _ := s2.Run(context.Background())
 	if r1.LnL != r2.LnL || r1.MovesApplied != r2.MovesApplied {
 		t.Errorf("search not deterministic: %+v vs %+v", r1, r2)
 	}
@@ -174,8 +175,8 @@ func TestSearchDeterministic(t *testing.T) {
 func TestSearchStrategiesFindSameTree(t *testing.T) {
 	sOld, _, trOld := buildSearch(t, 9, 150, opt.OldPar, parallel.NewSequential(), 11, 52)
 	sNew, _, trNew := buildSearch(t, 9, 150, opt.NewPar, parallel.NewSequential(), 11, 52)
-	rOld := sOld.Run()
-	rNew := sNew.Run()
+	rOld, _ := sOld.Run(context.Background())
+	rNew, _ := sNew.Run(context.Background())
 	// Same optima within optimizer tolerance; trees should agree given the
 	// deterministic candidate order.
 	if math.Abs(rOld.LnL-rNew.LnL) > 1e-3*math.Abs(rOld.LnL) {
@@ -194,8 +195,8 @@ func TestSearchParallelMatchesSequential(t *testing.T) {
 	defer pool.Close()
 	sSeq, _, _ := buildSearch(t, 8, 120, opt.NewPar, parallel.NewSequential(), 21, 63)
 	sPar, _, _ := buildSearch(t, 8, 120, opt.NewPar, pool, 21, 63)
-	rSeq := sSeq.Run()
-	rPar := sPar.Run()
+	rSeq, _ := sSeq.Run(context.Background())
+	rPar, _ := sPar.Run(context.Background())
 	if math.Abs(rSeq.LnL-rPar.LnL) > 1e-6*math.Abs(rSeq.LnL) {
 		t.Errorf("parallel search diverged: %v vs %v", rSeq.LnL, rPar.LnL)
 	}
@@ -206,7 +207,7 @@ func TestSearchParallelMatchesSequential(t *testing.T) {
 
 func TestSearchPreservesTreeValidity(t *testing.T) {
 	s, eng, tr := buildSearch(t, 10, 100, opt.NewPar, parallel.NewSequential(), 31, 74)
-	s.Run()
+	s.Run(context.Background())
 	if err := tr.Validate(); err != nil {
 		t.Fatalf("tree invalid after search: %v", err)
 	}
@@ -243,11 +244,43 @@ func TestSearchPartitionedPerPartitionBL(t *testing.T) {
 	cfg := DefaultConfig(opt.NewPar)
 	cfg.MaxRounds = 2
 	before := eng.LogLikelihood()
-	res := New(eng, cfg).Run()
+	res, _ := New(eng, cfg).Run(context.Background())
 	if res.LnL < before {
 		t.Errorf("partitioned search decreased lnL %v -> %v", before, res.LnL)
 	}
 	if err := start.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSearchCancellation: cancelling mid-search returns promptly with the
+// context error and a consistent tree whose score matches the reported
+// partial result exactly.
+func TestSearchCancellation(t *testing.T) {
+	s, eng, _ := buildSearch(t, 10, 300, opt.NewPar, parallel.NewSequential(), 47, 48)
+	s.Cfg.MaxRounds = 50
+	s.Cfg.Epsilon = -1 // never converge: only cancellation can stop it
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Cfg.Progress = func(round int, lnl float64, applied, tried int) {
+		if round == 1 {
+			cancel()
+		}
+	}
+	res, err := s.Run(ctx)
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if res.Rounds >= 4 {
+		t.Errorf("search ran %d rounds after cancellation in round 1", res.Rounds)
+	}
+	if math.IsNaN(res.LnL) || math.IsInf(res.LnL, 0) || res.LnL >= 0 {
+		t.Errorf("partial lnL = %v", res.LnL)
+	}
+	// The tree must be left consistent: re-evaluating from scratch gives
+	// exactly the reported score.
+	eng.InvalidateCLVs()
+	if got := eng.LogLikelihood(); got != res.LnL {
+		t.Errorf("tree score %v != reported partial %v", got, res.LnL)
 	}
 }

@@ -14,6 +14,7 @@
 package search
 
 import (
+	"context"
 	"math"
 
 	"phylo/internal/core"
@@ -38,6 +39,11 @@ type Config struct {
 	// 2k, ... (0 disables; 1 = every round). Mirrors how search algorithms
 	// "alternate between tree search phases and model optimization phases".
 	ModelOptEvery int
+	// Progress, if non-nil, is called after every completed SPR round with
+	// the 1-based round number, the round's log likelihood, and the
+	// cumulative applied/tried move counts. It runs between parallel
+	// regions on the searching goroutine and must not call into the engine.
+	Progress func(round int, lnl float64, movesApplied, movesTried int)
 }
 
 // DefaultConfig returns production defaults (radius and epsilon follow
@@ -66,6 +72,7 @@ type Searcher struct {
 	E   *core.Engine
 	Cfg Config
 	o   *opt.Optimizer
+	ctx context.Context
 
 	best      float64
 	moves     int
@@ -78,25 +85,42 @@ func New(e *core.Engine, cfg Config) *Searcher {
 	return &Searcher{E: e, Cfg: cfg, o: opt.New(e, cfg.Opt)}
 }
 
+// cancelled reports whether the search context has been cancelled; it is
+// polled at synchronization-region boundaries, never inside a region.
+func (s *Searcher) cancelled() bool {
+	return s.ctx != nil && s.ctx.Err() != nil
+}
+
 // Run executes the SPR search and returns the best log likelihood found.
-func (s *Searcher) Run() Result {
-	s.best = s.o.SmoothAll()
+// When ctx is cancelled mid-search the run winds down at the next region
+// boundary: any pruned subtree is restored first, the tree is re-smoothed
+// into a consistent state, and the returned Result carries the exact score
+// of that tree alongside the context's error — a usable partial result.
+func (s *Searcher) Run(ctx context.Context) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.ctx = ctx
+	s.best = s.o.SmoothAll(ctx)
 	rounds := 0
-	for r := 0; r < s.Cfg.MaxRounds; r++ {
+	for r := 0; r < s.Cfg.MaxRounds && !s.cancelled(); r++ {
 		rounds++
 		if s.Cfg.ModelOptEvery > 0 && r%s.Cfg.ModelOptEvery == 0 {
-			lnl, _ := s.o.OptimizeModel()
+			lnl, _, _ := s.o.OptimizeModel(ctx)
 			s.best = lnl
 		}
 		prev := s.best
 		s.sprRound()
 		s.E.InvalidateCLVs()
-		s.best = s.o.SmoothAll()
+		s.best = s.o.SmoothAll(ctx)
+		if s.Cfg.Progress != nil {
+			s.Cfg.Progress(rounds, s.best, s.moves, s.tried)
+		}
 		if s.best-prev < s.Cfg.Epsilon {
 			break
 		}
 	}
-	return Result{LnL: s.best, Rounds: rounds, MovesApplied: s.moves, MovesTried: s.tried}
+	return Result{LnL: s.best, Rounds: rounds, MovesApplied: s.moves, MovesTried: s.tried}, ctx.Err()
 }
 
 // sprRound prunes every directed subtree once and applies the best improving
@@ -109,6 +133,9 @@ func (s *Searcher) sprRound() {
 		candidates = append(candidates, in, in.Next, in.Next.Next)
 	}
 	for _, v := range candidates {
+		if s.cancelled() {
+			return
+		}
 		s.trySubtree(v)
 	}
 }
@@ -156,6 +183,11 @@ func (s *Searcher) trySubtree(v *tree.Node) {
 	var bestU *tree.Node
 	scan := func(u *tree.Node, depth int) {}
 	scan = func(u *tree.Node, depth int) {
+		if s.cancelled() {
+			// Stop descending; trySubtree still restores the pruned subtree
+			// below, so cancellation never leaves a mutilated topology.
+			return
+		}
 		if lnl := s.tryInsert(v, u); lnl > bestLnL {
 			bestLnL = lnl
 			bestU = u
@@ -224,6 +256,11 @@ func (s *Searcher) trySubtree(v *tree.Node) {
 // evaluation, then undoes the splice. The caller guarantees the CLV at u
 // towards u.Back and at u.Back towards u are valid.
 func (s *Searcher) tryInsert(v, u *tree.Node) float64 {
+	if s.cancelled() {
+		// Score nothing: -Inf never beats the reinsertion baseline, so the
+		// caller takes the restore path untouched.
+		return math.Inf(-1)
+	}
 	s.tried++
 	e := s.E
 	uB := u.Back

@@ -1,6 +1,7 @@
 package seqsim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -215,7 +216,7 @@ func TestParameterRecovery(t *testing.T) {
 	}
 	o := opt.New(eng, opt.DefaultConfig(opt.NewPar))
 	o.Cfg.OptimizeRates = false
-	if _, rounds := o.OptimizeModel(); rounds < 1 {
+	if _, rounds, _ := o.OptimizeModel(context.Background()); rounds < 1 {
 		t.Fatal("no optimization rounds ran")
 	}
 	if got := eng.Models[0].Alpha; got < 0.3 || got > 0.8 {

@@ -15,31 +15,38 @@
 //   - NewPar: all partitions optimized simultaneously with per-partition
 //     convergence tracking (the paper's solution).
 //
+// The API has two layers. A Dataset is the immutable, shareable product of
+// the per-dataset setup work the paper amortizes — compressed patterns, tip
+// encodings, model templates, precomputed worker schedules, and the shared
+// worker pool. An Analysis is one lightweight session over a Dataset: it
+// owns only mutable state (tree, CLVs, model copies), so any number of
+// sessions can run concurrently over one Dataset — the many-trees /
+// one-alignment workload of surrogate-likelihood methods. Long-running
+// entry points take a context.Context and cancel at synchronization-region
+// boundaries, and an optional Progress callback streams per-round events.
+//
 // A typical session:
 //
 //	al, _ := phylo.ReadPhylipFile("data.phy")
 //	al.SetUniformPartitions(phylo.DNA, 1000)
-//	an, _ := phylo.NewAnalysis(al, phylo.Options{Threads: 8, Strategy: phylo.NewPar,
+//	ds, _ := phylo.NewDataset(al, phylo.DatasetOptions{Threads: 8})
+//	defer ds.Close()
+//	an, _ := ds.NewAnalysis(phylo.AnalysisOptions{Strategy: phylo.NewPar,
 //	    PerPartitionBranchLengths: true})
 //	defer an.Close()
-//	lnl, _ := an.OptimizeModel()
-//	res, _ := an.Search()
+//	lnl, _ := an.OptimizeModel(ctx)
+//	res, _ := an.Search(ctx)
 //	fmt.Println(res.LnL, an.TreeNewick())
 package phylo
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"os"
 
 	"phylo/internal/alignment"
-	"phylo/internal/core"
-	"phylo/internal/model"
 	"phylo/internal/opt"
-	"phylo/internal/parallel"
 	"phylo/internal/schedule"
-	"phylo/internal/search"
 	"phylo/internal/seqsim"
 	"phylo/internal/tree"
 )
@@ -172,6 +179,18 @@ func (al *Alignment) SetPartitionsFromFile(path string) error {
 	return al.SetPartitionsFromReader(f)
 }
 
+// CompressionStats compresses the alignment under the current partition
+// scheme and reports the column and unique-pattern counts — the width of
+// every parallel region — without building the rest of a Dataset (models,
+// schedules, worker pool).
+func (al *Alignment) CompressionStats() (sites, patterns int, err error) {
+	d, err := alignment.Compress(al.raw, al.parts, alignment.CompressOptions{})
+	if err != nil {
+		return 0, 0, err
+	}
+	return d.TotalSites, d.TotalPatterns, nil
+}
+
 // WritePhylip serializes the alignment.
 func (al *Alignment) WritePhylip(w io.Writer) error { return alignment.WritePhylip(w, al.raw) }
 
@@ -180,7 +199,13 @@ func (al *Alignment) WritePartitions(w io.Writer) error {
 	return alignment.WritePartitionFile(w, al.parts)
 }
 
-// Options configures an Analysis.
+// Options configures the legacy single-shot NewAnalysis constructor. It is
+// the union of DatasetOptions and AnalysisOptions from before the
+// Dataset/session split.
+//
+// Deprecated: build a Dataset with NewDataset and open sessions with
+// Dataset.NewAnalysis; that amortizes the per-dataset setup across sessions
+// and allows concurrent analyses.
 type Options struct {
 	// Threads is the worker count (default 1).
 	Threads int
@@ -206,178 +231,34 @@ type Options struct {
 	Seed int64
 }
 
-// Analysis is a live likelihood engine over one dataset.
-type Analysis struct {
-	eng  *core.Engine
-	exec parallel.Executor
-	tr   *tree.Tree
-	opts Options
-}
-
-// NewAnalysis compresses the alignment, builds per-partition models (GTR
-// with empirical frequencies for DNA, the fixed SYN20 matrix for protein),
-// constructs the starting tree, and wires up the parallel runtime.
+// NewAnalysis builds a one-off Dataset and opens a single session over it;
+// the session owns the dataset and Close releases both.
+//
+// Deprecated: use NewDataset and Dataset.NewAnalysis, which separate the
+// immutable per-dataset setup from cheap per-session state and enable
+// concurrent sessions, context cancellation, and progress streaming.
 func NewAnalysis(al *Alignment, o Options) (*Analysis, error) {
-	if al == nil {
-		return nil, errors.New("phylo: nil alignment")
-	}
-	if o.Threads <= 0 {
-		o.Threads = 1
-	}
-	if o.GammaCategories <= 0 {
-		o.GammaCategories = 4
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	d, err := alignment.Compress(al.raw, al.parts, alignment.CompressOptions{})
+	ds, err := NewDataset(al, DatasetOptions{
+		Threads:         o.Threads,
+		Schedule:        o.Schedule,
+		GammaCategories: o.GammaCategories,
+		VirtualThreads:  o.VirtualThreads,
+	})
 	if err != nil {
 		return nil, err
 	}
-	models := make([]*model.Model, len(d.Parts))
-	for i, p := range d.Parts {
-		m, err := model.DefaultFor(p, o.GammaCategories, 1.0)
-		if err != nil {
-			return nil, err
-		}
-		models[i] = m
-	}
-	zSlots := 1
-	if o.PerPartitionBranchLengths && len(d.Parts) > 1 {
-		zSlots = len(d.Parts)
-	}
-	var tr *tree.Tree
-	if o.StartTreeNewick != "" {
-		tr, err = tree.ParseNewick(o.StartTreeNewick, al.raw.Names, zSlots)
-	} else {
-		tr, err = tree.Random(al.raw.Names, zSlots, tree.RandomOptions{Seed: o.Seed})
-	}
+	an, err := ds.NewAnalysis(AnalysisOptions{
+		Strategy:                  o.Strategy,
+		PerPartitionBranchLengths: o.PerPartitionBranchLengths,
+		StartTreeNewick:           o.StartTreeNewick,
+		Seed:                      o.Seed,
+	})
 	if err != nil {
+		ds.Close()
 		return nil, err
 	}
-	var exec parallel.Executor
-	if o.VirtualThreads {
-		exec, err = parallel.NewSim(o.Threads)
-	} else if o.Threads == 1 {
-		exec = parallel.NewSequential()
-	} else {
-		exec, err = parallel.NewPool(o.Threads)
-	}
-	if err != nil {
-		return nil, err
-	}
-	eng, err := core.New(d, tr, models, exec, core.Options{Specialize: true, Schedule: o.Schedule})
-	if err != nil {
-		exec.Close()
-		return nil, err
-	}
-	return &Analysis{eng: eng, exec: exec, tr: tr, opts: o}, nil
-}
-
-// Close releases the worker pool. The analysis must not be used afterwards.
-func (an *Analysis) Close() { an.exec.Close() }
-
-// LogLikelihood evaluates the current tree and model.
-func (an *Analysis) LogLikelihood() float64 { return an.eng.LogLikelihood() }
-
-// PartitionLogLikelihoods returns the total and per-partition scores.
-func (an *Analysis) PartitionLogLikelihoods() (float64, []float64) {
-	return an.eng.PartitionLogLikelihoods()
-}
-
-// OptimizeModel optimizes branch lengths, alpha shape parameters, and GTR
-// rates on the fixed current topology (the paper's "model parameter
-// optimization" phase) and returns the final log likelihood.
-func (an *Analysis) OptimizeModel() (float64, error) {
-	o := opt.New(an.eng, opt.DefaultConfig(an.opts.Strategy))
-	lnl, _ := o.OptimizeModel()
-	return lnl, core.CheckFinite(lnl)
-}
-
-// OptimizeBranchLengths runs branch-length smoothing only.
-func (an *Analysis) OptimizeBranchLengths() (float64, error) {
-	o := opt.New(an.eng, opt.DefaultConfig(an.opts.Strategy))
-	lnl := o.SmoothAll()
-	return lnl, core.CheckFinite(lnl)
-}
-
-// SearchResult reports an SPR search.
-type SearchResult struct {
-	LnL          float64
-	Rounds       int
-	MovesApplied int
-	MovesTried   int
-}
-
-// SearchOptions tunes Search; zero values select defaults.
-type SearchOptions struct {
-	MaxRounds int
-	Radius    int
-}
-
-// Search runs the SPR maximum-likelihood tree search.
-func (an *Analysis) Search() (SearchResult, error) { return an.SearchWith(SearchOptions{}) }
-
-// SearchWith runs the SPR search with explicit settings.
-func (an *Analysis) SearchWith(so SearchOptions) (SearchResult, error) {
-	cfg := search.DefaultConfig(an.opts.Strategy)
-	if so.MaxRounds > 0 {
-		cfg.MaxRounds = so.MaxRounds
-	}
-	if so.Radius > 0 {
-		cfg.Radius = so.Radius
-	}
-	res := search.New(an.eng, cfg).Run()
-	out := SearchResult{LnL: res.LnL, Rounds: res.Rounds, MovesApplied: res.MovesApplied, MovesTried: res.MovesTried}
-	return out, core.CheckFinite(res.LnL)
-}
-
-// TreeNewick serializes the current tree with partition k's branch lengths.
-func (an *Analysis) TreeNewick() string { return tree.WriteNewick(an.tr, 0) }
-
-// Alpha returns the optimized Gamma shape parameter of a partition.
-func (an *Analysis) Alpha(partition int) (float64, error) {
-	if partition < 0 || partition >= an.eng.NumPartitions() {
-		return 0, fmt.Errorf("phylo: partition %d out of range", partition)
-	}
-	return an.eng.Models[partition].Alpha, nil
-}
-
-// SyncStats summarizes the parallel runtime behaviour of everything executed
-// so far: the synchronization (region/barrier) count and the load imbalance
-// of the critical path — the quantities the paper's analysis is about.
-type SyncStats struct {
-	Regions     int64
-	CriticalOps float64
-	TotalOps    float64
-	Imbalance   float64
-	// WorkerImbalance is the max/avg ratio of cumulative per-worker op totals
-	// across the whole run — the direct measure of how well the schedule's
-	// pattern assignment balanced the work.
-	WorkerImbalance float64
-}
-
-// Stats returns the accumulated parallel runtime statistics.
-func (an *Analysis) Stats() SyncStats {
-	s := an.exec.Stats()
-	return SyncStats{
-		Regions:         s.Regions,
-		CriticalOps:     s.CriticalOps,
-		TotalOps:        s.TotalOps,
-		Imbalance:       s.Imbalance(an.exec.Threads()),
-		WorkerImbalance: s.WorkerImbalance(),
-	}
-}
-
-// PlatformSeconds prices the recorded execution trace on one of the paper's
-// four platforms ("Nehalem", "Clovertown", "Barcelona", "x4600") at the
-// analysis' thread count. Most meaningful with VirtualThreads enabled.
-func (an *Analysis) PlatformSeconds(platform string) (float64, error) {
-	p, err := parallel.PlatformByName(platform)
-	if err != nil {
-		return 0, err
-	}
-	return p.EvalSeconds(an.exec.Stats(), an.exec.Threads()), nil
+	an.ownsDataset = true
+	return an, nil
 }
 
 // RobinsonFoulds computes the Robinson-Foulds topological distance between

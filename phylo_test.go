@@ -2,9 +2,13 @@ package phylo
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"math"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 const tinyPhylip = `6 40
@@ -33,7 +37,7 @@ func TestReadPhylipAndAnalyze(t *testing.T) {
 	if lnl >= 0 || math.IsNaN(lnl) {
 		t.Errorf("lnL = %v", lnl)
 	}
-	better, err := an.OptimizeModel()
+	better, err := an.OptimizeModel(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +75,7 @@ func TestPartitionedAnalysisStrategies(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		lnl, err := an.OptimizeModel()
+		lnl, err := an.OptimizeModel(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,7 +104,7 @@ func TestVirtualThreadsAndPlatformPricing(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer an.Close()
-	if _, err := an.OptimizeBranchLengths(); err != nil {
+	if _, err := an.OptimizeBranchLengths(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"Nehalem", "Clovertown", "Barcelona", "x4600"} {
@@ -125,7 +129,7 @@ func TestSearchViaFacade(t *testing.T) {
 	}
 	defer an.Close()
 	before := an.LogLikelihood()
-	res, err := an.SearchWith(SearchOptions{MaxRounds: 1, Radius: 2})
+	res, err := an.SearchWith(context.Background(), SearchOptions{MaxRounds: 1, Radius: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,5 +215,371 @@ func TestRobinsonFouldsFacade(t *testing.T) {
 	}
 	if _, err := RobinsonFoulds(a, "bad", taxa); err == nil {
 		t.Error("expected parse error")
+	}
+}
+
+// --- Dataset / session API ---
+
+// gridAlignment builds a small partitioned DNA alignment for session tests.
+func gridAlignment(t *testing.T) *Alignment {
+	t.Helper()
+	al, err := SimulateGrid(10, 5000, 1000, 0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return al
+}
+
+// TestConcurrentSessionsMatchSequential is the acceptance test of the
+// Dataset/session split: N concurrent sessions over one Dataset (sharing
+// one worker pool) must reproduce the single-session log likelihood
+// bit-for-bit, and each session sees only its own statistics. Run under
+// -race in CI.
+func TestConcurrentSessionsMatchSequential(t *testing.T) {
+	al := gridAlignment(t)
+	opts := AnalysisOptions{Strategy: NewPar, PerPartitionBranchLengths: true, Seed: 17}
+
+	// Baseline: one session, run alone.
+	ds, err := NewDataset(al, DatasetOptions{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	base, err := ds.NewAnalysis(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.OptimizeModel(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRegions := base.Stats().Regions
+	if err := base.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three concurrent sessions over the same dataset.
+	const n = 3
+	got := make([]float64, n)
+	regions := make([]int64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		an, err := ds.NewAnalysis(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, an *Analysis) {
+			defer wg.Done()
+			defer an.Close()
+			got[i], errs[i] = an.OptimizeModel(context.Background())
+			regions[i] = an.Stats().Regions
+		}(i, an)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if got[i] != want {
+			t.Errorf("session %d lnL = %v, want bit-identical %v", i, got[i], want)
+		}
+		if regions[i] != baseRegions {
+			t.Errorf("session %d saw %d regions, want its own count %d (per-session stats)", i, regions[i], baseRegions)
+		}
+	}
+}
+
+// TestCancelMidSearch cancels a context from inside the progress stream and
+// checks that the search returns promptly with a usable partial result and
+// a session that is still fully operational.
+func TestCancelMidSearch(t *testing.T) {
+	al := gridAlignment(t)
+	ds, err := NewDataset(al, DatasetOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var events []ProgressEvent
+	an, err := ds.NewAnalysis(AnalysisOptions{
+		Strategy: NewPar,
+		Seed:     11,
+		Progress: func(ev ProgressEvent) {
+			events = append(events, ev)
+			cancel() // cancel after the first completed round
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer an.Close()
+
+	start := time.Now()
+	res, err := an.SearchWith(ctx, SearchOptions{MaxRounds: 50, Radius: 2})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events before cancellation")
+	}
+	if res.Rounds >= 3 {
+		t.Errorf("search kept going for %d rounds after cancellation", res.Rounds)
+	}
+	if math.IsNaN(res.LnL) || math.IsInf(res.LnL, 0) || res.LnL >= 0 {
+		t.Errorf("partial result lnL = %v, want finite negative", res.LnL)
+	}
+	// The session must remain consistent and usable after cancellation.
+	lnl := an.LogLikelihood()
+	if math.IsNaN(lnl) || lnl >= 0 {
+		t.Errorf("post-cancel LogLikelihood = %v", lnl)
+	}
+	if lnl != res.LnL {
+		t.Errorf("post-cancel evaluation %v != reported partial result %v", lnl, res.LnL)
+	}
+	if nwk := an.TreeNewick(); !strings.HasSuffix(nwk, ";") {
+		t.Errorf("post-cancel tree malformed: %q", nwk)
+	}
+	_ = elapsed // prompt-return is asserted via the round bound above
+}
+
+// TestCancelledBeforeStart: a pre-cancelled context must not run any rounds.
+func TestCancelledBeforeStart(t *testing.T) {
+	al := gridAlignment(t)
+	ds, err := NewDataset(al, DatasetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	an, err := ds.NewAnalysis(AnalysisOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer an.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := an.OptimizeModel(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("OptimizeModel err = %v, want Canceled", err)
+	}
+	if _, err := an.SearchWith(ctx, SearchOptions{MaxRounds: 3}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Search err = %v, want Canceled", err)
+	}
+}
+
+// TestCloseSemantics: Close is idempotent on both layers and use-after-close
+// yields clear errors rather than panics.
+func TestCloseSemantics(t *testing.T) {
+	al, _ := ReadPhylip(strings.NewReader(tinyPhylip))
+	ds, err := NewDataset(al, DatasetOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := ds.NewAnalysis(AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Close(); err != nil {
+		t.Fatalf("first analysis close: %v", err)
+	}
+	if err := an.Close(); err != nil {
+		t.Fatalf("second analysis close not idempotent: %v", err)
+	}
+	if _, err := an.OptimizeModel(context.Background()); !errors.Is(err, ErrAnalysisClosed) {
+		t.Errorf("use-after-close err = %v, want ErrAnalysisClosed", err)
+	}
+	if lnl := an.LogLikelihood(); !math.IsNaN(lnl) {
+		t.Errorf("LogLikelihood after close = %v, want NaN", lnl)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatalf("first dataset close: %v", err)
+	}
+	if err := ds.Close(); err != nil {
+		t.Fatalf("second dataset close not idempotent: %v", err)
+	}
+	if _, err := ds.NewAnalysis(AnalysisOptions{}); !errors.Is(err, ErrDatasetClosed) {
+		t.Errorf("NewAnalysis after close err = %v, want ErrDatasetClosed", err)
+	}
+
+	// A dataset closed under a live session: the session reports the
+	// dataset error instead of panicking on the dead pool.
+	ds2, err := NewDataset(al, DatasetOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an2, err := ds2.NewAnalysis(AnalysisOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds2.Close(); err == nil {
+		t.Error("closing a dataset with an open session should report it")
+	}
+	if _, err := an2.OptimizeModel(context.Background()); !errors.Is(err, ErrDatasetClosed) {
+		t.Errorf("session after dataset close err = %v, want ErrDatasetClosed", err)
+	}
+	an2.Close()
+
+	// The legacy shim owns its dataset: closing the analysis closes both.
+	an3, err := NewAnalysis(al, Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an3.Close(); err != nil {
+		t.Fatalf("legacy close: %v", err)
+	}
+	if err := an3.Close(); err != nil {
+		t.Fatalf("legacy double close: %v", err)
+	}
+}
+
+// TestCloseDatasetMidAnalysis: closing the dataset while a session is
+// mid-optimization must not crash the process — the in-flight run completes
+// degraded (serial regions) and subsequent entry points report
+// ErrDatasetClosed.
+func TestCloseDatasetMidAnalysis(t *testing.T) {
+	al := gridAlignment(t)
+	ds, err := NewDataset(al, DatasetOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := make(chan struct{})
+	var once sync.Once
+	an, err := ds.NewAnalysis(AnalysisOptions{
+		Seed: 13,
+		Progress: func(ev ProgressEvent) {
+			once.Do(func() {
+				// First round done: close the dataset under the running session.
+				ds.Close()
+				close(closed)
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer an.Close()
+	lnl, err := an.OptimizeModel(context.Background())
+	<-closed
+	if err != nil {
+		t.Fatalf("mid-run close should not fail the in-flight optimization: %v", err)
+	}
+	if math.IsNaN(lnl) || lnl >= 0 {
+		t.Errorf("lnl after mid-run close = %v", lnl)
+	}
+	if _, err := an.OptimizeModel(context.Background()); !errors.Is(err, ErrDatasetClosed) {
+		t.Errorf("next entry point err = %v, want ErrDatasetClosed", err)
+	}
+}
+
+// TestTreeNewickForPartition: per-partition branch lengths serialize per
+// slot; joint estimates collapse every partition onto slot 0.
+func TestTreeNewickForPartition(t *testing.T) {
+	al, _ := ReadPhylip(strings.NewReader(tinyPhylip))
+	if err := al.SetUniformPartitions(DNA, 20); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := NewDataset(al, DatasetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	an, err := ds.NewAnalysis(AnalysisOptions{PerPartitionBranchLengths: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer an.Close()
+	if _, err := an.OptimizeBranchLengths(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	nwk0, err := an.TreeNewickForPartition(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nwk1, err := an.TreeNewickForPartition(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nwk0 != an.TreeNewick() {
+		t.Error("TreeNewickForPartition(0) should match TreeNewick")
+	}
+	if nwk0 == nwk1 {
+		t.Error("partitions share branch lengths despite per-partition estimation")
+	}
+	if _, err := an.TreeNewickForPartition(2); err == nil {
+		t.Error("expected range error for partition 2")
+	}
+	if _, err := an.TreeNewickForPartition(-1); err == nil {
+		t.Error("expected range error for partition -1")
+	}
+}
+
+// TestProgressEvents: model optimization streams per-round events carrying
+// runtime counters.
+func TestProgressEvents(t *testing.T) {
+	al, _ := ReadPhylip(strings.NewReader(tinyPhylip))
+	ds, err := NewDataset(al, DatasetOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	var events []ProgressEvent
+	an, err := ds.NewAnalysis(AnalysisOptions{
+		Seed:     3,
+		Progress: func(ev ProgressEvent) { events = append(events, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer an.Close()
+	if _, err := an.OptimizeModel(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events")
+	}
+	for i, ev := range events {
+		if ev.Phase != PhaseModelOpt {
+			t.Errorf("event %d phase = %q", i, ev.Phase)
+		}
+		if ev.Round != i+1 {
+			t.Errorf("event %d round = %d", i, ev.Round)
+		}
+		if ev.Regions <= 0 || ev.WorkerImbalance < 1 {
+			t.Errorf("event %d counters: regions=%d imbalance=%v", i, ev.Regions, ev.WorkerImbalance)
+		}
+		if math.IsNaN(ev.LnL) || ev.LnL >= 0 {
+			t.Errorf("event %d lnL = %v", i, ev.LnL)
+		}
+	}
+}
+
+// TestDatasetAccessors sanity-checks the dataset surface.
+func TestDatasetAccessors(t *testing.T) {
+	al, _ := ReadPhylip(strings.NewReader(tinyPhylip))
+	ds, err := NewDataset(al, DatasetOptions{Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.NumTaxa() != 6 || ds.NumSites() != 40 || ds.NumPartitions() != 1 {
+		t.Errorf("shape: %d taxa %d sites %d parts", ds.NumTaxa(), ds.NumSites(), ds.NumPartitions())
+	}
+	if ds.NumPatterns() <= 0 || ds.NumPatterns() > ds.NumSites() {
+		t.Errorf("patterns = %d", ds.NumPatterns())
+	}
+	if ds.Threads() != 3 {
+		t.Errorf("threads = %d", ds.Threads())
+	}
+	if names := ds.TaxonNames(); len(names) != 6 || names[0] != "t0" {
+		t.Errorf("taxon names: %v", names)
+	}
+	if _, err := NewDataset(nil, DatasetOptions{}); err == nil {
+		t.Error("expected error for nil alignment")
+	}
+	sites, patterns, err := al.CompressionStats()
+	if err != nil || sites != 40 || patterns != ds.NumPatterns() {
+		t.Errorf("CompressionStats = %d, %d, %v; want 40, %d", sites, patterns, err, ds.NumPatterns())
 	}
 }
