@@ -1,9 +1,20 @@
-// Command plkbench times the two hot likelihood kernels — evaluate and
-// newview (one full traversal) — on the real goroutine pool at several
-// thread counts and writes the results as JSON. CI runs it on every push to
-// seed the performance trajectory (BENCH_plk.json artifacts).
+// Command plkbench times the hot likelihood kernels — evaluate, newview
+// (one full traversal), and the tip-heavy specialized-vs-generic newview
+// comparison — on the real goroutine pool at several thread counts and
+// writes the results as JSON. CI runs it on every push to seed the
+// performance trajectory (BENCH_plk.json artifacts) and to gate against the
+// committed baseline:
 //
 //	plkbench -scale 0.01 -threads 1,4,8 -out BENCH_plk.json
+//	plkbench -check BENCH_baseline.json -compare BENCH_plk.json
+//
+// With -check, any kernel ns/op more than -tolerance (default 20%) above
+// the baseline at a matching thread count fails the run with exit code 1.
+// With -compare, a previously written report is checked instead of
+// re-measuring. Refresh the baseline (on the machine class the gate runs
+// on) with:
+//
+//	go run ./cmd/plkbench -scale 0.01 -threads 1,4,8 -out BENCH_baseline.json
 package main
 
 import (
@@ -19,42 +30,87 @@ import (
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 0.01, "dataset column scale (d20_20000 grid)")
-		seed    = flag.Int64("seed", 42, "simulation seed")
-		threads = flag.String("threads", "1,4,8", "comma-separated thread counts")
-		out     = flag.String("out", "BENCH_plk.json", "output JSON path (- for stdout)")
+		scale     = flag.Float64("scale", 0.01, "dataset column scale (d20_20000 grid)")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		threads   = flag.String("threads", "1,4,8", "comma-separated thread counts")
+		out       = flag.String("out", "BENCH_plk.json", "output JSON path (- for stdout)")
+		check     = flag.String("check", "", "baseline report JSON to gate against (exit 1 on regression)")
+		compare   = flag.String("compare", "", "pre-measured report JSON to check instead of re-measuring")
+		tolerance = flag.Float64("tolerance", 0.20, "fractional ns/op regression tolerance for -check")
 	)
 	flag.Parse()
 
-	var counts []int
-	for _, f := range strings.Split(*threads, ",") {
-		t, err := strconv.Atoi(strings.TrimSpace(f))
-		if err != nil {
-			fatal(fmt.Errorf("bad thread count %q: %w", f, err))
-		}
-		counts = append(counts, t)
+	if *compare != "" && *check == "" {
+		fatal(fmt.Errorf("-compare %s without -check does nothing; pass the baseline to gate against", *compare))
 	}
-	rep, err := bench.Microbench(counts, *scale, *seed)
+
+	var rep *bench.MicrobenchReport
+	if *compare != "" {
+		rep = readReport(*compare)
+	} else {
+		var counts []int
+		for _, f := range strings.Split(*threads, ",") {
+			t, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fatal(fmt.Errorf("bad thread count %q: %w", f, err))
+			}
+			counts = append(counts, t)
+		}
+		var err error
+		rep, err = bench.Microbench(counts, *scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		writeReport(rep, *out)
+	}
+
+	if *check != "" {
+		baseline := readReport(*check)
+		if regs := bench.CompareReports(baseline, rep, *tolerance); len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "plkbench: %d perf regression(s) vs %s:\n", len(regs), *check)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("perf gate passed vs %s (tolerance %.0f%%)\n", *check, 100**tolerance)
+	}
+}
+
+func readReport(path string) *bench.MicrobenchReport {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
 	}
+	rep := new(bench.MicrobenchReport)
+	if err := json.Unmarshal(data, rep); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	return rep
+}
+
+func writeReport(rep *bench.MicrobenchReport, out string) {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	data = append(data, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fatal(err)
 	}
 	for _, kt := range rep.Timings {
 		fmt.Printf("T=%-2d evaluate %12.0f ns/op   newview %12.0f ns/op\n",
 			kt.Threads, kt.EvaluateNsOp, kt.NewviewNsOp)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	for _, tc := range rep.TipCase {
+		fmt.Printf("T=%-2d tip-heavy newview: specialized %10.0f ns/op   generic %10.0f ns/op   speedup %.2fx\n",
+			tc.Threads, tc.SpecializedNsOp, tc.GenericNsOp, tc.Speedup)
+	}
+	fmt.Printf("wrote %s\n", out)
 }
 
 func fatal(err error) {

@@ -170,6 +170,16 @@ func StateToCode(t DataType, state int) byte {
 	return byte(state)
 }
 
+// NumCodes returns the size of the tip-code alphabet for a data type: 16
+// DNA presence masks or the 23 AA codes (20 states + B + Z + gap). The
+// tip-case kernel specialization sizes its per-code lookup tables with it.
+func NumCodes(t DataType) int {
+	if t == DNA {
+		return 16
+	}
+	return NumAACodes
+}
+
 // TipVector returns the 0/1 compatibility vector of a tip code.
 func TipVector(t DataType, code byte) []float64 {
 	if t == DNA {

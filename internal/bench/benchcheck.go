@@ -1,0 +1,52 @@
+package bench
+
+import "fmt"
+
+// CompareReports is the CI perf-regression gate: it checks a freshly
+// measured microbenchmark report against a stored baseline
+// (BENCH_baseline.json) and returns one message per regression — any kernel
+// ns/op more than tol fractionally above the baseline value at the same
+// thread count (tol 0.20 = fail on >20% slowdown). Thread counts present in
+// only one of the two reports are skipped (nothing to compare), as is the
+// tip-case section when the baseline predates it. Getting *faster* never
+// fails; refresh the baseline to ratchet the trajectory (one command, run on
+// the machine class the gate compares on):
+//
+//	go run ./cmd/plkbench -scale 0.01 -threads 1,4,8 -out BENCH_baseline.json
+func CompareReports(baseline, fresh *MicrobenchReport, tol float64) []string {
+	var regressions []string
+	check := func(kernel string, threads int, base, now float64) {
+		if base <= 0 || now <= 0 {
+			return
+		}
+		if now > base*(1+tol) {
+			regressions = append(regressions,
+				fmt.Sprintf("%s @ %d threads: %.0f ns/op vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+					kernel, threads, now, base, 100*(now/base-1), 100*tol))
+		}
+	}
+	baseTimings := make(map[int]KernelTiming, len(baseline.Timings))
+	for _, kt := range baseline.Timings {
+		baseTimings[kt.Threads] = kt
+	}
+	for _, kt := range fresh.Timings {
+		b, ok := baseTimings[kt.Threads]
+		if !ok {
+			continue
+		}
+		check("evaluate", kt.Threads, b.EvaluateNsOp, kt.EvaluateNsOp)
+		check("newview", kt.Threads, b.NewviewNsOp, kt.NewviewNsOp)
+	}
+	baseTip := make(map[int]TipCaseTiming, len(baseline.TipCase))
+	for _, tc := range baseline.TipCase {
+		baseTip[tc.Threads] = tc
+	}
+	for _, tc := range fresh.TipCase {
+		b, ok := baseTip[tc.Threads]
+		if !ok {
+			continue
+		}
+		check("newview-tip(specialized)", tc.Threads, b.SpecializedNsOp, tc.SpecializedNsOp)
+	}
+	return regressions
+}

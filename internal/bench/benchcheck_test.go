@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkReport() *MicrobenchReport {
+	return &MicrobenchReport{
+		Dataset: "d20_20000",
+		Timings: []KernelTiming{
+			{Threads: 1, EvaluateNsOp: 1000, NewviewNsOp: 4000},
+			{Threads: 4, EvaluateNsOp: 400, NewviewNsOp: 1500},
+		},
+		TipCase: []TipCaseTiming{
+			{Threads: 1, SpecializedNsOp: 2000, GenericNsOp: 5000, Speedup: 2.5},
+		},
+	}
+}
+
+// TestCompareReportsGate demonstrates the CI perf gate: identical reports
+// pass, a synthetic 20%+ regression on any kernel at any thread count fails,
+// and speedups never fail.
+func TestCompareReportsGate(t *testing.T) {
+	base := checkReport()
+	if regs := CompareReports(base, checkReport(), 0.20); len(regs) != 0 {
+		t.Fatalf("identical reports must pass the gate, got %v", regs)
+	}
+
+	// Inject a synthetic 25% newview regression at 4 threads (the scenario
+	// the acceptance criteria require the bench job to fail on).
+	slow := checkReport()
+	slow.Timings[1].NewviewNsOp *= 1.25
+	regs := CompareReports(base, slow, 0.20)
+	if len(regs) != 1 {
+		t.Fatalf("want exactly one regression, got %v", regs)
+	}
+	if !strings.Contains(regs[0], "newview @ 4 threads") {
+		t.Errorf("regression message %q should name kernel and thread count", regs[0])
+	}
+
+	// A regression on the tip-specialized kernel is caught too.
+	slowTip := checkReport()
+	slowTip.TipCase[0].SpecializedNsOp *= 1.3
+	if regs := CompareReports(base, slowTip, 0.20); len(regs) != 1 ||
+		!strings.Contains(regs[0], "newview-tip(specialized) @ 1 threads") {
+		t.Errorf("tip-case regression not caught: %v", regs)
+	}
+
+	// Exactly at the tolerance boundary passes; just above fails.
+	edge := checkReport()
+	edge.Timings[0].EvaluateNsOp = 1200
+	if regs := CompareReports(base, edge, 0.20); len(regs) != 0 {
+		t.Errorf("+20%% at 20%% tolerance must pass, got %v", regs)
+	}
+	edge.Timings[0].EvaluateNsOp = 1201
+	if regs := CompareReports(base, edge, 0.20); len(regs) != 1 {
+		t.Errorf("+20.1%% at 20%% tolerance must fail, got %v", regs)
+	}
+
+	// Getting faster never fails.
+	fast := checkReport()
+	for i := range fast.Timings {
+		fast.Timings[i].EvaluateNsOp /= 2
+		fast.Timings[i].NewviewNsOp /= 2
+	}
+	if regs := CompareReports(base, fast, 0.20); len(regs) != 0 {
+		t.Errorf("speedups must pass the gate, got %v", regs)
+	}
+
+	// Thread counts or sections missing from the baseline are skipped, so a
+	// baseline from before the tip-case bench still gates the core kernels.
+	old := checkReport()
+	old.TipCase = nil
+	old.Timings = old.Timings[:1]
+	if regs := CompareReports(old, slow, 0.20); len(regs) != 0 {
+		t.Errorf("thread counts absent from the baseline must be skipped, got %v", regs)
+	}
+}
+
+// TestTipCaseSpeedupRecorded guards the acceptance criterion: the microbench
+// report must carry tip-case entries with a computed speedup, and at one
+// thread — where the kernel is arithmetic-bound and the measured margin is
+// wide (~3.5x locally) — the specialized path must clear the 1.25x floor.
+func TestTipCaseSpeedupRecorded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("microbenchmark run in -short mode")
+	}
+	rep, err := Microbench([]int{1}, 0.01, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.TipCase) != 1 {
+		t.Fatalf("want one tip-case timing, got %d", len(rep.TipCase))
+	}
+	tc := rep.TipCase[0]
+	if tc.SpecializedNsOp <= 0 || tc.GenericNsOp <= 0 || tc.Speedup <= 0 {
+		t.Fatalf("tip-case timing not populated: %+v", tc)
+	}
+	if tc.Speedup < 1.25 {
+		t.Errorf("tip-heavy newview speedup %.2fx below the 1.25x acceptance floor", tc.Speedup)
+	}
+	if rep.TipDataset == "" {
+		t.Error("tip dataset description missing")
+	}
+}

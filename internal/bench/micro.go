@@ -21,8 +21,20 @@ type KernelTiming struct {
 	NewviewNsOp  float64 `json:"newview_ns_op"`
 }
 
+// TipCaseTiming compares the tip-specialized newview path against the fully
+// generic kernels on a tip-heavy dataset (few taxa, so most newview children
+// are tips and every worker share clears the lookup-table threshold) at one
+// thread count.
+type TipCaseTiming struct {
+	Threads         int     `json:"threads"`
+	SpecializedNsOp float64 `json:"specialized_ns_op"`
+	GenericNsOp     float64 `json:"generic_ns_op"`
+	Speedup         float64 `json:"speedup"`
+}
+
 // MicrobenchReport is the machine-readable kernel benchmark summary the CI
-// perf-trajectory job serializes into BENCH_plk.json.
+// perf-trajectory job serializes into BENCH_plk.json and gates against
+// BENCH_baseline.json (see CompareReports).
 type MicrobenchReport struct {
 	Dataset    string         `json:"dataset"`
 	Taxa       int            `json:"taxa"`
@@ -30,6 +42,10 @@ type MicrobenchReport struct {
 	Partitions int            `json:"partitions"`
 	Patterns   int            `json:"patterns"`
 	Timings    []KernelTiming `json:"timings"`
+	// TipDataset and TipCase cover the tip-heavy newview microbenchmark:
+	// specialized vs generic kernels on the same commit.
+	TipDataset string          `json:"tip_dataset,omitempty"`
+	TipCase    []TipCaseTiming `json:"tip_case,omitempty"`
 }
 
 // Microbench times the evaluate and newview kernels of a small-grid dataset
@@ -103,5 +119,75 @@ func Microbench(threadCounts []int, scale float64, seed int64) (*MicrobenchRepor
 			NewviewNsOp:  float64(nvRes.NsPerOp()),
 		})
 	}
+	if err := tipCaseBench(rep, threadCounts, seed); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// tipCaseBench times one full newview traversal on a tip-heavy dataset (6
+// taxa: 5 of the 8 child slots are tips) with the tip-case specialization on
+// and off, at each thread count. The column count is fixed rather than
+// scaled so every worker share stays above the lookup-table threshold — the
+// point is to measure the table path, not the generic fallback.
+func tipCaseBench(rep *MicrobenchReport, threadCounts []int, seed int64) error {
+	const tipTaxa, tipSites = 6, 2048
+	ds, err := seqsim.GridDataset(tipTaxa, tipSites, tipSites, 1.0, seed+17)
+	if err != nil {
+		return err
+	}
+	d, err := alignment.Compress(ds.Alignment, ds.Parts, alignment.CompressOptions{})
+	if err != nil {
+		return err
+	}
+	models := make([]*model.Model, len(d.Parts))
+	for i, p := range d.Parts {
+		if models[i], err = model.DefaultFor(p, 4, 1.0); err != nil {
+			return err
+		}
+	}
+	rep.TipDataset = fmt.Sprintf("%s (tip-heavy, %d patterns)", ds.Name, d.TotalPatterns)
+	for _, t := range threadCounts {
+		pool, err := parallel.NewPool(t)
+		if err != nil {
+			return err
+		}
+		sh, err := core.NewShared(d, 4, t)
+		if err != nil {
+			pool.Close()
+			return err
+		}
+		timing := TipCaseTiming{Threads: t}
+		for _, specialize := range []bool{true, false} {
+			tr, err := tree.Random(ds.Alignment.Names, len(d.Parts), tree.RandomOptions{Seed: seed + 1})
+			if err != nil {
+				pool.Close()
+				return err
+			}
+			eng, err := core.NewSession(sh, tr, models, pool.Session(), core.Options{Specialize: specialize})
+			if err != nil {
+				pool.Close()
+				return err
+			}
+			root := eng.Tree.Tips[0].Back
+			eng.Traverse(root, false, nil)
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					eng.InvalidateCLVs()
+					eng.Traverse(root, false, nil)
+				}
+			})
+			if specialize {
+				timing.SpecializedNsOp = float64(res.NsPerOp())
+			} else {
+				timing.GenericNsOp = float64(res.NsPerOp())
+			}
+		}
+		pool.Close()
+		if timing.SpecializedNsOp > 0 {
+			timing.Speedup = timing.GenericNsOp / timing.SpecializedNsOp
+		}
+		rep.TipCase = append(rep.TipCase, timing)
+	}
+	return nil
 }

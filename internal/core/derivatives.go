@@ -34,6 +34,11 @@ func (e *Engine) PrepareSumtable(p *tree.Node, active []bool) {
 	})
 }
 
+// sumtablePartition builds worker w's share of the sumtable. A tip end
+// whose share amortizes a projection table uses the category-independent
+// per-code rows of buildTipSumLeft/Right instead of re-projecting the same
+// 0/1 tip vector for every pattern and category (tip-case specialization;
+// results are bit-identical).
 func (e *Engine) sumtablePartition(p, q *tree.Node, ip, w int) float64 {
 	runs := e.workRuns(w, ip)
 	if len(runs) == 0 {
@@ -64,6 +69,19 @@ func (e *Engine) sumtablePartition(p, q *tree.Node, ip, w int) float64 {
 	} else {
 		qv = e.clv(q.Index)
 	}
+	var lTab, rTab []float64
+	fixed := 0.0
+	if e.Specialize && (pTip || qTip) && runsPatternCount(runs) >= tipTableMinPatterns(part.Type) {
+		codes := alignment.NumCodes(part.Type)
+		if pTip {
+			lTab = buildTipSumLeft(e.tipScratch[w][0], part.Type, freqs, v, s)
+			fixed += opsTipProj(s, codes)
+		}
+		if qTip {
+			rTab = buildTipSumRight(e.tipScratch[w][1], part.Type, vi, s)
+			fixed += opsTipProj(s, codes)
+		}
+	}
 	count := 0
 	for _, run := range runs {
 		for i := run.Lo; i < run.Hi; i += run.Step {
@@ -71,31 +89,53 @@ func (e *Engine) sumtablePartition(p, q *tree.Node, ip, w int) float64 {
 			off := base + j*cs
 			soff := sbase + j*cs
 			var xl, xr []float64
-			if pTip {
+			var lRow, rRow []float64
+			if lTab != nil {
+				code := int(pRow[j])
+				lRow = lTab[code*s : (code+1)*s]
+			} else if pTip {
 				xl = alignment.TipVector(part.Type, pRow[j])
 			} else {
 				xl = pv[off : off+cs]
 			}
-			if qTip {
+			if rTab != nil {
+				code := int(qRow[j])
+				rRow = rTab[code*s : (code+1)*s]
+			} else if qTip {
 				xr = alignment.TipVector(part.Type, qRow[j])
 			} else {
 				xr = qv[off : off+cs]
 			}
 			for c := 0; c < cats; c++ {
-				cl := xl
-				if !pTip {
-					cl = xl[c*s : (c+1)*s]
+				var cl, cr []float64
+				if lRow == nil {
+					cl = xl
+					if !pTip {
+						cl = xl[c*s : (c+1)*s]
+					}
 				}
-				cr := xr
-				if !qTip {
-					cr = xr[c*s : (c+1)*s]
+				if rRow == nil {
+					cr = xr
+					if !qTip {
+						cr = xr[c*s : (c+1)*s]
+					}
 				}
 				dst := e.sumtable[soff+c*s : soff+(c+1)*s]
 				for k := 0; k < s; k++ {
-					lproj, rproj := 0.0, 0.0
-					for a := 0; a < s; a++ {
-						lproj += freqs[a] * cl[a] * v[a*s+k]
-						rproj += vi[k*s+a] * cr[a]
+					var lproj, rproj float64
+					if lRow != nil {
+						lproj = lRow[k]
+					} else {
+						for a := 0; a < s; a++ {
+							lproj += freqs[a] * cl[a] * v[a*s+k]
+						}
+					}
+					if rRow != nil {
+						rproj = rRow[k]
+					} else {
+						for a := 0; a < s; a++ {
+							rproj += vi[k*s+a] * cr[a]
+						}
 					}
 					dst[k] = lproj * rproj * invCats
 				}
@@ -103,7 +143,7 @@ func (e *Engine) sumtablePartition(p, q *tree.Node, ip, w int) float64 {
 			count++
 		}
 	}
-	return float64(count) * opsSumtable(s, cats)
+	return float64(count)*opsSumtableCase(s, cats, lTab != nil, rTab != nil) + fixed
 }
 
 // BranchDerivatives evaluates d lnL / dz and d^2 lnL / dz^2 for the branch

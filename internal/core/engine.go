@@ -65,8 +65,9 @@ type Engine struct {
 	evalPartials  [][]float64 // per worker: per-partition lnL partials
 	derivPartials [][]float64 // per worker: per-partition (d1, d2) partials
 
-	pmScratch [][2][]float64 // per worker: two P-matrix buffers (cats x s x s)
-	exScratch [][]float64    // per worker: exponential/derivative tables (3 x cats x s)
+	pmScratch  [][2][]float64 // per worker: two P-matrix buffers (cats x s x s)
+	exScratch  [][]float64    // per worker: exponential/derivative tables (3 x cats x s)
+	tipScratch [][2][]float64 // per worker: two tip lookup tables (codes x cats x s)
 }
 
 // Options configures engine construction.
@@ -171,6 +172,7 @@ func NewSession(sh *Shared, tr *tree.Tree, models []*model.Model, exec parallel.
 	e.derivPartials = make([][]float64, t)
 	e.pmScratch = make([][2][]float64, t)
 	e.exScratch = make([][]float64, t)
+	e.tipScratch = make([][2][]float64, t)
 	for w := 0; w < t; w++ {
 		e.evalPartials[w] = make([]float64, len(data.Parts))
 		e.derivPartials[w] = make([]float64, 2*len(data.Parts))
@@ -179,6 +181,13 @@ func NewSession(sh *Shared, tr *tree.Tree, models []*model.Model, exec parallel.
 			make([]float64, sh.NumCats*e.maxS*e.maxS),
 		}
 		e.exScratch[w] = make([]float64, 3*sh.NumCats*e.maxS)
+		// One table per tip child: codes × cats × s rows cover the newview
+		// and evaluate tables; the category-independent sumtable projections
+		// (codes × s) reuse a prefix of the same buffers.
+		e.tipScratch[w] = [2][]float64{
+			make([]float64, sh.maxCodes*sh.NumCats*e.maxS),
+			make([]float64, sh.maxCodes*sh.NumCats*e.maxS),
+		}
 	}
 	return e, nil
 }

@@ -51,8 +51,55 @@ func (e *Engine) Evaluate(p *tree.Node, active []bool) (float64, []float64) {
 	return total, perPart
 }
 
+// evalPattern is the per-pattern evaluate kernel shared by the parallel
+// reduction and SiteLogLikelihoods: the mean-over-categories site likelihood
+// before the log and the scaling-exponent correction. xl is the p-side CLV
+// slice (a single s-length tip vector when pTip); xr the q-side analogue.
+// When qTab is non-nil (the tip-case specialization) the table row for qCode
+// already holds the P applications and xr is ignored.
+func evalPattern(pm, freqs []float64, s, cats int, xl []float64, pTip bool, xr []float64, qTip bool, qTab []float64, qCode byte) float64 {
+	li := 0.0
+	if qTab != nil {
+		t := qTab[int(qCode)*cats*s:]
+		for c := 0; c < cats; c++ {
+			cl := xl
+			if !pTip {
+				cl = xl[c*s : (c+1)*s]
+			}
+			tc := t[c*s : (c+1)*s]
+			for a := 0; a < s; a++ {
+				li += freqs[a] * cl[a] * tc[a]
+			}
+		}
+		return li
+	}
+	ss := s * s
+	for c := 0; c < cats; c++ {
+		pc := pm[c*ss : (c+1)*ss]
+		cl := xl
+		if !pTip {
+			cl = xl[c*s : (c+1)*s]
+		}
+		cr := xr
+		if !qTip {
+			cr = xr[c*s : (c+1)*s]
+		}
+		for a := 0; a < s; a++ {
+			row := a * s
+			t := 0.0
+			for b := 0; b < s; b++ {
+				t += pc[row+b] * cr[b]
+			}
+			li += freqs[a] * cl[a] * t
+		}
+	}
+	return li
+}
+
 // evaluatePartition reduces worker w's share of one partition's site log
-// likelihoods and returns (partialSum, accumulated ops).
+// likelihoods and returns (partialSum, accumulated ops). A tip on the q side
+// whose share amortizes a lookup table skips the per-pattern P application
+// entirely (tip-case specialization; results are bit-identical).
 func (e *Engine) evaluatePartition(p, q *tree.Node, ip, w int, pm []float64, ops float64) (float64, float64) {
 	runs := e.workRuns(w, ip)
 	if len(runs) == 0 {
@@ -86,6 +133,12 @@ func (e *Engine) evaluatePartition(p, q *tree.Node, ip, w int, pm []float64, ops
 		qsc = e.scale(q.Index)
 	}
 	freqs := m.Freqs
+	fixed := float64(cats * s * s * s) // per-worker P-matrix setup
+	var qTab []float64
+	if e.Specialize && qTip && runsPatternCount(runs) >= tipTableMinPatterns(part.Type) {
+		qTab = buildTipTable(e.tipScratch[w][0], part.Type, pm[:cats*ss], s, cats)
+		fixed += opsTipTable(s, cats, alignment.NumCodes(part.Type))
+	}
 	sum := 0.0
 	count := 0
 	for _, run := range runs {
@@ -93,37 +146,21 @@ func (e *Engine) evaluatePartition(p, q *tree.Node, ip, w int, pm []float64, ops
 			j := i - part.Offset
 			off := base + j*cs
 			var xl, xr []float64
+			var qCode byte
 			if pTip {
 				xl = alignment.TipVector(part.Type, pRow[j])
 			} else {
 				xl = pv[off : off+cs]
 			}
-			if qTip {
+			switch {
+			case qTab != nil:
+				qCode = qRow[j]
+			case qTip:
 				xr = alignment.TipVector(part.Type, qRow[j])
-			} else {
+			default:
 				xr = qv[off : off+cs]
 			}
-			li := 0.0
-			for c := 0; c < cats; c++ {
-				pc := pm[c*ss : (c+1)*ss]
-				cl := xl
-				if !pTip {
-					cl = xl[c*s : (c+1)*s]
-				}
-				cr := xr
-				if !qTip {
-					cr = xr[c*s : (c+1)*s]
-				}
-				for a := 0; a < s; a++ {
-					row := a * s
-					t := 0.0
-					for b := 0; b < s; b++ {
-						t += pc[row+b] * cr[b]
-					}
-					li += freqs[a] * cl[a] * t
-				}
-			}
-			li *= invCats
+			li := evalPattern(pm, freqs, s, cats, xl, pTip, xr, qTip, qTab, qCode) * invCats
 			sc := int32(0)
 			if !pTip {
 				sc += psc[i]
@@ -140,12 +177,15 @@ func (e *Engine) evaluatePartition(p, q *tree.Node, ip, w int, pm []float64, ops
 			count++
 		}
 	}
-	ops += float64(count)*opsEvaluate(s, cats) + float64(cats*s*s*s)
+	ops += float64(count)*opsEvaluateCase(s, cats, qTab != nil) + fixed
 	return sum, ops
 }
 
 // SiteLogLikelihoods returns the per-pattern log likelihoods (unweighted) of
-// one partition at the canonical root; primarily a debugging and testing aid.
+// one partition at the canonical root; primarily a debugging and testing
+// aid. It routes every pattern through the same evalPattern kernel (and tip
+// table decision) as the parallel reduction, so it cannot drift from the
+// specialized path.
 func (e *Engine) SiteLogLikelihoods(ip int) []float64 {
 	root := e.Tree.Tips[0].Back
 	e.Traverse(root, false, nil)
@@ -155,19 +195,24 @@ func (e *Engine) SiteLogLikelihoods(ip int) []float64 {
 	s := part.Type.States()
 	cats := e.numCats
 	cs := cats * s
-	ss := s * s
 	m := e.Models[ip]
-	pm := make([]float64, cats*ss)
+	pm := make([]float64, cats*s*s)
 	m.PMatrices(root.Z[e.slotOf(ip)], pm)
 	base := e.clvBase[ip]
+	invCats := 1.0 / float64(cats)
 	pTip, qTip := root.IsTip(), q.IsTip()
 	if pTip && qTip {
 		panic("core: degenerate two-taxon tree")
+	}
+	var qTab []float64
+	if e.Specialize && qTip && part.PatternCount >= tipTableMinPatterns(part.Type) {
+		qTab = buildTipTable(make([]float64, alignment.NumCodes(part.Type)*cats*s), part.Type, pm, s, cats)
 	}
 	for j := 0; j < part.PatternCount; j++ {
 		i := part.Offset + j
 		off := base + j*cs
 		var xl, xr []float64
+		var qCode byte
 		var sc int32
 		if pTip {
 			xl = alignment.TipVector(part.Type, part.Tips[root.Index][j])
@@ -175,32 +220,18 @@ func (e *Engine) SiteLogLikelihoods(ip int) []float64 {
 			xl = e.clv(root.Index)[off : off+cs]
 			sc += e.scale(root.Index)[i]
 		}
-		if qTip {
+		switch {
+		case qTab != nil:
+			qCode = part.Tips[q.Index][j]
+		case qTip:
 			xr = alignment.TipVector(part.Type, part.Tips[q.Index][j])
-		} else {
+		default:
 			xr = e.clv(q.Index)[off : off+cs]
+		}
+		if !qTip {
 			sc += e.scale(q.Index)[i]
 		}
-		li := 0.0
-		for c := 0; c < cats; c++ {
-			pc := pm[c*ss : (c+1)*ss]
-			cl := xl
-			if !pTip {
-				cl = xl[c*s : (c+1)*s]
-			}
-			cr := xr
-			if !qTip {
-				cr = xr[c*s : (c+1)*s]
-			}
-			for a := 0; a < s; a++ {
-				t := 0.0
-				for b := 0; b < s; b++ {
-					t += pc[a*s+b] * cr[b]
-				}
-				li += m.Freqs[a] * cl[a] * t
-			}
-		}
-		li /= float64(cats)
+		li := evalPattern(pm, m.Freqs, s, cats, xl, pTip, xr, qTip, qTab, qCode) * invCats
 		out[j] = math.Log(li) + float64(sc)*logMinLik
 	}
 	return out

@@ -57,7 +57,13 @@ func (e *Engine) ExecuteSteps(steps []tree.TraversalStep, active []bool) {
 }
 
 // newviewPartition recomputes worker w's share of partition ip for one
-// traversal step and returns the weighted op count.
+// traversal step and returns the weighted op count. With Specialize on it
+// dispatches on the children's kinds: tip children whose share amortizes a
+// lookup table (see tiptables.go) become O(cats·s) table-row reads instead
+// of O(cats·s²) P applications — the tip/tip case additionally touches no
+// child CLVs and no child scaling vectors at all. All paths produce
+// bit-identical CLVs; the generic path remains reachable via Specialize
+// false (A/B ablation) and for shares too narrow to amortize a table.
 func (e *Engine) newviewPartition(st tree.TraversalStep, ip, w int, pmQ, pmR []float64) float64 {
 	runs := e.workRuns(w, ip)
 	if len(runs) == 0 {
@@ -93,28 +99,61 @@ func (e *Engine) newviewPartition(st tree.TraversalStep, ip, w int, pmQ, pmR []f
 		rs = e.scale(st.R.Index)
 	}
 
+	var tabQ, tabR []float64
+	fixed := float64(2 * cats * s * s * s) // redundant per-worker P-matrix setup
+	if e.Specialize && (qTip || rTip) && runsPatternCount(runs) >= tipTableMinPatterns(part.Type) {
+		codes := alignment.NumCodes(part.Type)
+		if qTip {
+			tabQ = buildTipTable(e.tipScratch[w][0], part.Type, pmQ, s, cats)
+			fixed += opsTipTable(s, cats, codes)
+		}
+		if rTip {
+			tabR = buildTipTable(e.tipScratch[w][1], part.Type, pmR, s, cats)
+			fixed += opsTipTable(s, cats, codes)
+		}
+	}
+
 	count := 0
 	fast4 := e.Specialize && s == 4
 	for _, run := range runs {
 		for i := run.Lo; i < run.Hi; i += run.Step {
 			j := i - part.Offset
 			off := base + j*cs
-			var xq, xr []float64
-			if qTip {
-				xq = alignment.TipVector(part.Type, qRow[j])
-			} else {
-				xq = qv[off : off+cs]
-			}
-			if rTip {
-				xr = alignment.TipVector(part.Type, rRow[j])
-			} else {
-				xr = rv[off : off+cs]
-			}
 			d := dst[off : off+cs]
-			if fast4 {
-				newviewPattern4(d, xq, xr, qTip, rTip, pmQ, pmR, cats)
-			} else {
-				newviewPatternGeneric(d, xq, xr, qTip, rTip, pmQ, pmR, cats, s)
+			switch {
+			case tabQ != nil && tabR != nil:
+				newviewPatternTipTip(d, tabQ[int(qRow[j])*cs:int(qRow[j])*cs+cs], tabR[int(rRow[j])*cs:int(rRow[j])*cs+cs])
+			case tabQ != nil:
+				tq := tabQ[int(qRow[j])*cs : int(qRow[j])*cs+cs]
+				if fast4 {
+					newviewPatternTipInner4(d, tq, rv[off:off+cs], pmR, cats)
+				} else {
+					newviewPatternTipInner(d, tq, rv[off:off+cs], pmR, cats, s)
+				}
+			case tabR != nil:
+				tr := tabR[int(rRow[j])*cs : int(rRow[j])*cs+cs]
+				if fast4 {
+					newviewPatternTipInner4(d, tr, qv[off:off+cs], pmQ, cats)
+				} else {
+					newviewPatternTipInner(d, tr, qv[off:off+cs], pmQ, cats, s)
+				}
+			default:
+				var xq, xr []float64
+				if qTip {
+					xq = alignment.TipVector(part.Type, qRow[j])
+				} else {
+					xq = qv[off : off+cs]
+				}
+				if rTip {
+					xr = alignment.TipVector(part.Type, rRow[j])
+				} else {
+					xr = rv[off : off+cs]
+				}
+				if fast4 {
+					newviewPattern4(d, xq, xr, qTip, rTip, pmQ, pmR, cats)
+				} else {
+					newviewPatternGeneric(d, xq, xr, qTip, rTip, pmQ, pmR, cats, s)
+				}
 			}
 			// Numerical scaling: when every entry of the pattern's CLV drops
 			// below the threshold, multiply the whole pattern by 2^256 and
@@ -143,8 +182,9 @@ func (e *Engine) newviewPartition(st tree.TraversalStep, ip, w int, pmQ, pmR []f
 			count++
 		}
 	}
-	// Per-pattern work plus the redundant per-worker P-matrix setup.
-	return float64(count)*opsNewview(s, cats) + float64(2*cats*s*s*s)
+	// Per-pattern work (priced by the case that actually ran) plus the
+	// per-worker setup.
+	return float64(count)*opsNewviewCase(s, cats, tabQ != nil, tabR != nil) + fixed
 }
 
 // newviewPatternGeneric computes one pattern's CLV for an arbitrary state
@@ -173,6 +213,52 @@ func newviewPatternGeneric(dst, xq, xr []float64, qTip, rTip bool, pmQ, pmR []fl
 			}
 			d[a] = sq * sr
 		}
+	}
+}
+
+// newviewPatternTipTip computes one pattern's CLV when both children are
+// specialized tips: the two table rows already hold the P applications, so
+// the pattern reduces to their entrywise product over all cats×s entries.
+func newviewPatternTipTip(dst, tq, tr []float64) {
+	_ = dst[len(tq)-1]
+	for k := range tq {
+		dst[k] = tq[k] * tr[k]
+	}
+}
+
+// newviewPatternTipInner computes one pattern's CLV when exactly one child
+// is a specialized tip (table row tq) and the other an inner CLV xr behind
+// transition matrices pm.
+func newviewPatternTipInner(dst, tq, xr, pm []float64, cats, s int) {
+	ss := s * s
+	for c := 0; c < cats; c++ {
+		p := pm[c*ss : (c+1)*ss]
+		cr := xr[c*s : (c+1)*s]
+		t := tq[c*s : (c+1)*s]
+		d := dst[c*s : (c+1)*s]
+		for a := 0; a < s; a++ {
+			row := a * s
+			sr := 0.0
+			for b := 0; b < s; b++ {
+				sr += p[row+b] * cr[b]
+			}
+			d[a] = t[a] * sr
+		}
+	}
+}
+
+// newviewPatternTipInner4 is the unrolled 4-state tip/inner kernel.
+func newviewPatternTipInner4(dst, tq, xr, pm []float64, cats int) {
+	for c := 0; c < cats; c++ {
+		p := pm[c*16 : c*16+16]
+		cr := xr[c*4 : c*4+4]
+		r0, r1, r2, r3 := cr[0], cr[1], cr[2], cr[3]
+		t := tq[c*4 : c*4+4]
+		d := dst[c*4 : c*4+4]
+		d[0] = t[0] * (p[0]*r0 + p[1]*r1 + p[2]*r2 + p[3]*r3)
+		d[1] = t[1] * (p[4]*r0 + p[5]*r1 + p[6]*r2 + p[7]*r3)
+		d[2] = t[2] * (p[8]*r0 + p[9]*r1 + p[10]*r2 + p[11]*r3)
+		d[3] = t[3] * (p[12]*r0 + p[13]*r1 + p[14]*r2 + p[15]*r3)
 	}
 }
 

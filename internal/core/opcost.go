@@ -6,27 +6,117 @@ package core
 // The 20-state kernels cost ~25x the 4-state ones per column, which is the
 // paper's explanation for the milder load-balance problem on protein data
 // ("roughly by a factor of 20x20/4x4=25").
+//
+// Since the tip-case specialization the costs are per *case*, not per
+// kernel: a specialized tip child is a precomputed table-row product (O(s)
+// per pattern) while an inner child pays a full P-matrix application (O(s²)),
+// so charging both the same would misprice tip-adjacent patterns in both the
+// runtime Ops counters and the weighted schedule's span costs.
 
-// opsNewview is the per-pattern cost of one newview step: two child P-matrix
-// applications (s^2 each) plus the entrywise product and scaling check.
+// opsNewviewCase is the per-pattern cost of one newview step given each
+// child's kind: an inner child costs a full P application (s² madds), a
+// specialized tip child one precomputed table-row read and multiply (s); the
+// trailing 2s covers the entrywise product and the scaling check. Pass
+// qTipFast/rTipFast as "this child actually ran the table-lookup path" — a
+// tip child processed by the generic kernel still pays the full s².
+func opsNewviewCase(states, cats int, qTipFast, rTipFast bool) float64 {
+	cq := states * states
+	if qTipFast {
+		cq = states
+	}
+	cr := states * states
+	if rTipFast {
+		cr = states
+	}
+	return float64(cats * (cq + cr + 2*states))
+}
+
+// opsNewview is the inner/inner (worst) case of one newview step: two child
+// P-matrix applications plus the entrywise product and scaling check. It is
+// also the cost of the generic (unspecialized) kernel regardless of tips.
 func opsNewview(states, cats int) float64 {
-	return float64(cats * (2*states*states + 2*states))
+	return opsNewviewCase(states, cats, false, false)
 }
 
-// opsEvaluate is the per-pattern cost of the root log-likelihood reduction:
-// one P application, the pi-weighted dot product, and the log.
+// opsNewviewAvg prices the *average* per-pattern newview cost over a full
+// traversal under tip-case specialization: a fraction tipFrac of the child
+// slots are tips (table-row product, O(s)) and the rest are inner CLVs (full
+// P application, O(s²)). The weighted scheduler uses it as the span cost —
+// it cannot know the tree (one Shared backs sessions on many trees), but the
+// tip fraction of a full traversal is a tree-shape invariant (see
+// tipChildFrac), so this prices tip-heavy datasets honestly on average.
+func opsNewviewAvg(states, cats int, tipFrac float64) float64 {
+	child := tipFrac*float64(states) + (1-tipFrac)*float64(states*states)
+	return float64(cats) * (2*child + 2*float64(states))
+}
+
+// tipChildFrac is the fraction of newview child slots that are tips in a
+// full traversal of an unrooted binary tree with n taxa rooted on a tip
+// branch: the n-2 steps have 2(n-2) child slots, of which n-1 are tips
+// (every tip except the root one) and n-3 are inner nodes.
+func tipChildFrac(numTaxa int) float64 {
+	if numTaxa < 4 {
+		return 1
+	}
+	return float64(numTaxa-1) / float64(2*numTaxa-4)
+}
+
+// opsEvaluateCase is the per-pattern cost of the root log-likelihood
+// reduction: the P application to the q-side vector (a table-row read, s,
+// when the q tip is specialized; s² otherwise), the pi-weighted dot product,
+// and the log.
+func opsEvaluateCase(states, cats int, qTipFast bool) float64 {
+	cq := states * states
+	if qTipFast {
+		cq = states
+	}
+	return float64(cats*(cq+2*states) + 30)
+}
+
+// opsEvaluate is the generic (inner q child) evaluate cost.
 func opsEvaluate(states, cats int) float64 {
-	return float64(cats*(states*states+2*states) + 30)
+	return opsEvaluateCase(states, cats, false)
 }
 
-// opsSumtable is the per-pattern cost of building the Newton-Raphson
-// sumtable: two eigenbasis projections per category.
+// opsSumtableCase is the per-pattern cost of building the Newton-Raphson
+// sumtable: two eigenbasis projections per category, each reduced to a
+// category-independent table-row read (s) when that end is a specialized
+// tip, plus the s writes.
+func opsSumtableCase(states, cats int, pTipFast, qTipFast bool) float64 {
+	cp := states * states
+	if pTipFast {
+		cp = states
+	}
+	cq := states * states
+	if qTipFast {
+		cq = states
+	}
+	return float64(cats * (cp + cq + states))
+}
+
+// opsSumtable is the generic (both ends inner) sumtable cost.
 func opsSumtable(states, cats int) float64 {
-	return float64(cats * (2*states*states + states))
+	return opsSumtableCase(states, cats, false, false)
 }
 
 // opsDerivative is the per-pattern cost of one derivative evaluation over an
-// existing sumtable.
+// existing sumtable (tips do not appear here: the sumtable already absorbed
+// them).
 func opsDerivative(states, cats int) float64 {
 	return float64(cats*states*3 + 10)
+}
+
+// opsTipTable is the one-off cost of precomputing a per-code lookup table
+// for one tip child: codes rows of cats×s entries, each an s-term dot
+// product. It amortizes over the worker's pattern share, which is why the
+// kernels only build tables for shares above tipTableMinPatterns.
+func opsTipTable(states, cats, codes int) float64 {
+	return float64(codes * cats * states * states)
+}
+
+// opsTipProj is the one-off cost of one category-independent sumtable
+// projection table (codes rows of s entries, each an s-term dot product);
+// it is charged once per specialized tip end.
+func opsTipProj(states, codes int) float64 {
+	return float64(codes * states * states)
 }

@@ -26,11 +26,12 @@ type Shared struct {
 	// session executor must run exactly this many workers.
 	Threads int
 
-	maxS    int
-	clvBase []int // per partition: offset into a CLV buffer
-	clvLen  int   // total CLV floats per inner node
-	sumBase []int // per partition: offset into the sumtable workspace
-	sumLen  int   // total sumtable floats
+	maxS     int
+	maxCodes int   // widest tip-code alphabet across partitions (16 or 23)
+	clvBase  []int // per partition: offset into a CLV buffer
+	clvLen   int   // total CLV floats per inner node
+	sumBase  []int // per partition: offset into the sumtable workspace
+	sumLen   int   // total sumtable floats
 
 	spans []schedule.Span // per-partition pattern ranges with op costs
 
@@ -62,16 +63,24 @@ func NewShared(data *alignment.CompressedData, numCats, threads int) (*Shared, e
 		scheds:  make(map[schedule.Strategy]*schedule.Schedule),
 	}
 	off, soff := 0, 0
+	tipFrac := tipChildFrac(data.NumTaxa())
 	for i, p := range data.Parts {
 		sh.clvBase[i] = off
 		sh.sumBase[i] = soff
 		off += p.PatternCount * numCats * p.Type.States()
 		soff += p.PatternCount * numCats * p.Type.States()
+		if c := alignment.NumCodes(p.Type); c > sh.maxCodes {
+			sh.maxCodes = c
+		}
 		// The newview cost is the dominant kernel term and is proportional to
 		// the other kernels' per-pattern costs in the states/cats factors that
 		// matter for balance (the ~25x DNA vs protein gap), so it prices the
-		// weighted assignment.
-		sh.spans[i] = schedule.Span{Lo: p.Offset, Hi: p.End(), Cost: opsNewview(p.Type.States(), numCats)}
+		// weighted assignment. It is the traversal-averaged tip-specialized
+		// cost: tip children are table-row reads (O(s)), inner children full
+		// P applications (O(s²)), mixed at the tree-shape-invariant tip
+		// fraction — charging every child s² would overprice tip-adjacent
+		// patterns now that the kernels specialize them.
+		sh.spans[i] = schedule.Span{Lo: p.Offset, Hi: p.End(), Cost: opsNewviewAvg(p.Type.States(), numCats, tipFrac)}
 	}
 	sh.clvLen = off
 	sh.sumLen = soff
