@@ -1,0 +1,172 @@
+package phylo
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+)
+
+// mixedAlignment builds the mixed DNA+AA workload whose ~25x per-pattern
+// cost spread exercises the scheduling strategies.
+func mixedAlignment(t *testing.T) *Alignment {
+	t.Helper()
+	al, err := SimulateMixed(10, 4, 2, 500, 0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return al
+}
+
+// TestAdaptiveSessionsAgreeAndSurviveRebalance is the facade acceptance test
+// for the measured (adaptive) schedule: concurrent sessions over one
+// ScheduleMeasured dataset must agree with a cyclic-schedule reference
+// within 1e-9, a mid-analysis rebalance must not change a session's reported
+// likelihood, and the whole dance must be race-detector clean (this test is
+// in the CI race job's package list).
+func TestAdaptiveSessionsAgreeAndSurviveRebalance(t *testing.T) {
+	al := mixedAlignment(t)
+
+	// Cyclic reference (the paper's distribution).
+	refDs, err := NewDataset(al, DatasetOptions{Threads: 4, Schedule: ScheduleCyclic})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refDs.Close()
+	refAn, err := refDs.NewAnalysis(AnalysisOptions{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refAn.LogLikelihood()
+	if math.IsNaN(want) {
+		t.Fatal("reference lnL is NaN")
+	}
+	refAn.Close()
+
+	ds, err := NewDataset(al, DatasetOptions{Threads: 4, Schedule: ScheduleMeasured})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+
+	const n = 3
+	var wg sync.WaitGroup
+	lnls := make([][2]float64, n)
+	rebs := make([]int, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		an, err := ds.NewAnalysis(AnalysisOptions{Seed: 21, RebalanceThreshold: 1.05})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, an *Analysis) {
+			defer wg.Done()
+			defer an.Close()
+			lnls[i][0] = an.LogLikelihood()
+			// Session 0 forces a rebuild mid-analysis; the others keep
+			// evaluating concurrently and adopt the published schedule at
+			// their own region boundaries.
+			if i == 0 {
+				did, err := an.Rebalance()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if !did {
+					t.Error("forced Rebalance on a measured session reported no-op")
+				}
+			}
+			lnls[i][1] = an.LogLikelihood()
+			rebs[i] = an.Rebalances()
+			st := an.Stats()
+			if st.TimeImbalance < 1 {
+				t.Errorf("session %d time imbalance %v below 1", i, st.TimeImbalance)
+			}
+			for w, sec := range st.WorkerTime {
+				if sec < 0 {
+					t.Errorf("session %d worker %d measured %v seconds", i, w, sec)
+				}
+			}
+		}(i, an)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		for phase, lnl := range lnls[i] {
+			if math.Abs(lnl-want) > 1e-9*math.Abs(want) {
+				t.Errorf("session %d phase %d: lnL %v drifted from cyclic reference %v", i, phase, lnl, want)
+			}
+		}
+		if math.Abs(lnls[i][1]-lnls[i][0]) > 1e-9*math.Abs(want) {
+			t.Errorf("session %d: rebalance changed reported lnL %v -> %v", i, lnls[i][0], lnls[i][1])
+		}
+	}
+	if rebs[0] < 1 {
+		t.Errorf("session 0 rebalance count = %d, want >= 1", rebs[0])
+	}
+
+	// Static-schedule sessions report Rebalance as an inert no-op.
+	staticAn, err := refDs.NewAnalysis(AnalysisOptions{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer staticAn.Close()
+	if did, err := staticAn.Rebalance(); err != nil || did {
+		t.Errorf("static Rebalance = %v, %v; want inert no-op", did, err)
+	}
+}
+
+// TestAdaptiveModelOptRoundHook runs a full model optimization on the
+// measured strategy and checks the end-to-end round hook: the optimizer
+// completes, the likelihood matches the weighted strategy's within
+// reassociation tolerance, and progress events carry the new fields.
+func TestAdaptiveModelOptRoundHook(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full model optimization run")
+	}
+	al, err := SimulateMixed(8, 2, 1, 400, 0.02, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(strat ScheduleStrategy) (float64, SyncStats) {
+		ds, err := NewDataset(al, DatasetOptions{Threads: 4, Schedule: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ds.Close()
+		events := 0
+		an, err := ds.NewAnalysis(AnalysisOptions{
+			Seed:                      5,
+			PerPartitionBranchLengths: true,
+			RebalanceThreshold:        1.01, // eager: exercise the hook
+			Progress: func(ev ProgressEvent) {
+				events++
+				if ev.TimeImbalance < 1 {
+					t.Errorf("progress event time imbalance %v below 1", ev.TimeImbalance)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer an.Close()
+		lnl, err := an.OptimizeModel(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if events == 0 {
+			t.Error("no progress events streamed")
+		}
+		return lnl, an.Stats()
+	}
+	wtdLnl, _ := run(ScheduleWeighted)
+	adpLnl, adpSt := run(ScheduleMeasured)
+	if math.Abs(wtdLnl-adpLnl) > 1e-9*math.Abs(wtdLnl) {
+		t.Errorf("adaptive lnL %v drifted from weighted %v", adpLnl, wtdLnl)
+	}
+	t.Logf("adaptive: %d rebalances, time imbalance %.3f, worker imbalance %.3f",
+		adpSt.Rebalances, adpSt.TimeImbalance, adpSt.WorkerImbalance)
+}

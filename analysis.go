@@ -54,6 +54,12 @@ type ProgressEvent struct {
 	// WorkerImbalance is the session's cumulative max/avg per-worker load
 	// ratio (1.0 = perfectly balanced).
 	WorkerImbalance float64
+	// TimeImbalance is the measured analogue of WorkerImbalance: the max/avg
+	// ratio of cumulative per-worker wall-clock seconds inside regions.
+	TimeImbalance float64
+	// Rebalances counts the measured-schedule rebuilds performed so far
+	// (always 0 for static schedule strategies).
+	Rebalances int
 }
 
 // AnalysisOptions configures one analysis session over a Dataset. Only
@@ -76,6 +82,13 @@ type AnalysisOptions struct {
 	// search round. It is called on the analysing goroutine between
 	// parallel regions: keep it fast and do not call back into the session.
 	Progress func(ProgressEvent)
+	// RebalanceThreshold is the hysteresis gate for the measured (adaptive)
+	// schedule strategy: at every optimizer/search round boundary the session
+	// rebuilds its worker assignment from observed per-pattern costs if the
+	// measured per-worker wall-time imbalance (max/avg) exceeds this ratio.
+	// Values <= 1 select the default of 1.1; the field is ignored unless the
+	// Dataset was built with ScheduleMeasured.
+	RebalanceThreshold float64
 }
 
 // Analysis is one live likelihood session over a Dataset. It owns only the
@@ -90,11 +103,12 @@ type Analysis struct {
 	ds          *Dataset
 	ownsDataset bool // legacy NewAnalysis(al, Options{}) path
 
-	eng      *core.Engine
-	exec     parallel.Executor
-	tr       *tree.Tree
-	strategy Strategy
-	progress func(ProgressEvent)
+	eng       *core.Engine
+	exec      parallel.Executor
+	tr        *tree.Tree
+	strategy  Strategy
+	progress  func(ProgressEvent)
+	rebalance float64 // measured-schedule hysteresis threshold (0 = default)
 
 	mu     sync.Mutex
 	closed bool
@@ -161,12 +175,13 @@ func (ds *Dataset) newAnalysis(o AnalysisOptions) (*Analysis, error) {
 		return nil, err
 	}
 	return &Analysis{
-		ds:       ds,
-		eng:      eng,
-		exec:     exec,
-		tr:       tr,
-		strategy: o.Strategy,
-		progress: o.Progress,
+		ds:        ds,
+		eng:       eng,
+		exec:      exec,
+		tr:        tr,
+		strategy:  o.Strategy,
+		progress:  o.Progress,
+		rebalance: o.RebalanceThreshold,
 	}, nil
 }
 
@@ -225,7 +240,7 @@ func (an *Analysis) PartitionLogLikelihoods() (float64, []float64) {
 }
 
 // optConfig assembles the optimizer configuration, wiring the session's
-// progress stream in.
+// progress stream and the measured-schedule rebalance hook in.
 func (an *Analysis) optConfig() opt.Config {
 	cfg := opt.DefaultConfig(an.strategy)
 	if an.progress != nil {
@@ -233,7 +248,45 @@ func (an *Analysis) optConfig() opt.Config {
 			an.emit(ProgressEvent{Phase: PhaseModelOpt, Round: round, LnL: lnl})
 		}
 	}
+	cfg.RoundEnd = an.maybeRebalance
 	return cfg
+}
+
+// maybeRebalance runs the measured-schedule feedback step at a round
+// boundary; it is a no-op unless the dataset uses ScheduleMeasured and the
+// observed imbalance crosses the hysteresis threshold. Rebalance errors are
+// deliberately swallowed here: a failed rebuild leaves the previous (valid)
+// schedule in place and must not abort an otherwise healthy optimization.
+func (an *Analysis) maybeRebalance() {
+	_, _ = an.eng.MaybeRebalance(an.rebalance)
+}
+
+// Rebalance manually triggers one measured-schedule rebuild from the costs
+// observed so far, bypassing the hysteresis threshold (the automatic path
+// runs between optimizer rounds). It reports whether a rebuild happened:
+// sessions on static schedule strategies return false with no error. Like
+// every Analysis method it must not be called concurrently with another
+// method of the same session.
+func (an *Analysis) Rebalance() (bool, error) {
+	if err := an.guard(); err != nil {
+		return false, err
+	}
+	if an.eng.Schedule().Strategy() != ScheduleMeasured {
+		return false, nil
+	}
+	if err := an.eng.RebalanceNow(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Rebalances reports how many measured-schedule rebuilds this session has
+// performed (automatic and manual).
+func (an *Analysis) Rebalances() int {
+	if an.guard() != nil {
+		return 0
+	}
+	return an.eng.Rebalances()
 }
 
 // emit fills in the runtime counters and delivers one progress event.
@@ -241,6 +294,8 @@ func (an *Analysis) emit(ev ProgressEvent) {
 	st := an.exec.Stats()
 	ev.Regions = st.Regions
 	ev.WorkerImbalance = st.WorkerImbalance()
+	ev.TimeImbalance = st.TimeImbalance()
+	ev.Rebalances = an.eng.Rebalances()
 	an.progress(ev)
 }
 
@@ -319,6 +374,7 @@ func (an *Analysis) SearchWith(ctx context.Context, so SearchOptions) (SearchRes
 				MovesApplied: applied, MovesTried: tried})
 		}
 	}
+	cfg.RoundEnd = an.maybeRebalance
 	res, runErr := search.New(an.eng, cfg).Run(ctx)
 	out := SearchResult{LnL: res.LnL, Rounds: res.Rounds, MovesApplied: res.MovesApplied, MovesTried: res.MovesTried}
 	if runErr != nil {
@@ -373,8 +429,17 @@ type SyncStats struct {
 	Imbalance   float64
 	// WorkerImbalance is the max/avg ratio of cumulative per-worker op totals
 	// across the whole run — the direct measure of how well the schedule's
-	// pattern assignment balanced the work.
+	// pattern assignment balanced the work, priced by the analytic op model.
 	WorkerImbalance float64
+	// TimeImbalance is the measured counterpart: the max/avg ratio of
+	// cumulative per-worker wall-clock seconds spent inside regions. A gap
+	// between TimeImbalance and WorkerImbalance means the analytic model
+	// mispriced the patterns — the signal ScheduleMeasured rebalances on.
+	TimeImbalance float64
+	// WorkerTime is the cumulative measured seconds per worker id.
+	WorkerTime []float64
+	// Rebalances counts this session's measured-schedule rebuilds.
+	Rebalances int
 }
 
 // Stats returns the session's accumulated parallel runtime statistics
@@ -390,6 +455,9 @@ func (an *Analysis) Stats() SyncStats {
 		TotalOps:        s.TotalOps,
 		Imbalance:       s.Imbalance(an.exec.Threads()),
 		WorkerImbalance: s.WorkerImbalance(),
+		TimeImbalance:   s.TimeImbalance(),
+		WorkerTime:      append([]float64(nil), s.WorkerTime...),
+		Rebalances:      an.eng.Rebalances(),
 	}
 }
 

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"phylo/internal/schedule"
+)
+
+// TestAdaptiveBeatsMispricedWeightedOnSkewedMixedData is the acceptance
+// check for the feedback-driven scheduler: on the mixed DNA+AA dataset with
+// a deliberately 100x-mispriced analytic cost model, the measured strategy's
+// end-state per-worker op imbalance (probed under each final schedule) must
+// not exceed the static weighted strategy's, every strategy must produce the
+// cyclic likelihood within 1e-9, and the adaptive session must actually have
+// rebalanced.
+func TestAdaptiveBeatsMispricedWeightedOnSkewedMixedData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full model optimization runs")
+	}
+	if raceEnabled {
+		// The gate is driven by measured wall time per worker; the race
+		// detector's instrumentation overhead flattens the DNA/AA cost gap
+		// (sub-microsecond shares) below the hysteresis threshold, so the
+		// adaptive session legitimately never rebalances there. The
+		// concurrency of the rebalance path is race-tested separately in
+		// internal/core and the facade package.
+		t.Skip("timing-driven acceptance gate is not meaningful under the race detector")
+	}
+	cfg := FigureConfig{Scale: 0.02, Seed: 42}
+	comp, results, err := adaptiveComparisonRun(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The weighted side is deterministic, but the adaptive pack is steered by
+	// measured wall time; on a badly noisy runner one window could misplace
+	// remainder patterns. Shield against that single failure mode by
+	// requiring a spurious loss to reproduce on a fresh comparison before
+	// failing the gate.
+	if comp.AdaptiveImbalance > comp.WeightedImbalance+1e-9 {
+		t.Logf("adaptive %v above weighted %v on the first run; re-measuring once", comp.AdaptiveImbalance, comp.WeightedImbalance)
+		if comp, results, err = adaptiveComparisonRun(context.Background(), cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cyc := results[schedule.Cyclic]
+	for _, strat := range []schedule.Strategy{schedule.Weighted, schedule.Measured} {
+		m := results[strat]
+		if diff := math.Abs(m.LnL - cyc.LnL); diff > 1e-9*math.Abs(cyc.LnL) {
+			t.Errorf("%v changed the optimum: lnL %v vs cyclic %v", strat, m.LnL, cyc.LnL)
+		}
+	}
+	t.Logf("end-state worker imbalance: cyclic %.5f, weighted %.5f, adaptive %.5f (%d rebalances)",
+		comp.CyclicImbalance, comp.WeightedImbalance, comp.AdaptiveImbalance, comp.AdaptiveRebalances)
+	if comp.AdaptiveImbalance > comp.WeightedImbalance+1e-9 {
+		t.Errorf("adaptive end-state imbalance %v exceeds mispriced weighted %v — the feedback loop failed to recover",
+			comp.AdaptiveImbalance, comp.WeightedImbalance)
+	}
+	if comp.AdaptiveRebalances < 1 {
+		t.Errorf("adaptive session never rebalanced (threshold 1.01, %d rounds of skewed imbalance)", comp.AdaptiveRebalances)
+	}
+	if comp.AdaptiveImbalance < 1 || comp.WeightedImbalance < 1 || comp.CyclicImbalance < 1 {
+		t.Errorf("imbalance below 1: %+v", comp)
+	}
+	// The probe stats themselves must carry sane measured time.
+	adp := results[schedule.Measured]
+	if adp.EndStats.TotalTime <= 0 || adp.EndStats.TimeImbalance() < 1 {
+		t.Errorf("probe time stats insane: total=%v imbalance=%v", adp.EndStats.TotalTime, adp.EndStats.TimeImbalance())
+	}
+}

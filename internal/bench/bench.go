@@ -67,11 +67,31 @@ type RunSpec struct {
 	SearchRounds   int   // SPR rounds for ModeSearch (0 = default)
 	SearchRadius   int   // rearrangement radius (0 = default)
 	OptimizeRates  bool  // include GTR rate optimization in ModeModelOpt
+
+	// SkewCosts multiplies the analytic span cost of 4-state (DNA)
+	// partitions by this factor before any schedule is built — a
+	// deliberately *wrong* cost model for the adaptive experiments, which
+	// show the measured strategy recovering from a mispriced prior. 0 or 1
+	// disables the skew. Runtime op counters are unaffected (they always
+	// charge the true per-case costs), so Stats.WorkerImbalance() keeps
+	// measuring the real work distribution.
+	SkewCosts float64
+	// RebalanceThreshold is the measured-strategy hysteresis applied at
+	// every optimizer/search round boundary (<= 1 selects the engine
+	// default of 1.1). Ignored unless Schedule is schedule.Measured.
+	RebalanceThreshold float64
+	// ProbeRegions, when > 0, appends an end-state probe after the
+	// analysis: the statistics are reset and this many full
+	// traversal+evaluate passes run under the FINAL schedule, so
+	// Measurement.EndStats isolates the end-state assignment quality from
+	// the pre-rebalance history.
+	ProbeRegions int
 }
 
 // Measurement is the outcome of one run. Stats carries the cumulative
 // per-worker op totals; Stats.WorkerImbalance() is the max/avg load measure
-// the schedule comparisons report.
+// the schedule comparisons report, and Stats.TimeImbalance() its measured
+// wall-clock counterpart.
 type Measurement struct {
 	Label           string
 	LnL             float64
@@ -79,6 +99,8 @@ type Measurement struct {
 	Stats           parallel.Stats
 	Threads         int
 	PlatformSeconds map[string]float64 // virtual seconds per paper platform
+	Rebalances      int                // measured-schedule rebuilds performed
+	EndStats        parallel.Stats     // end-state probe stats (zero unless ProbeRegions > 0)
 }
 
 // Run executes one configuration. ctx cancels the analysis at the next
@@ -127,9 +149,28 @@ func Run(ctx context.Context, spec RunSpec) (*Measurement, error) {
 		return nil, err
 	}
 	defer exec.Close()
-	eng, err := core.New(d, tr, models, exec, core.Options{Specialize: true, Schedule: spec.Schedule})
+	sh, err := core.NewShared(d, models[0].NumCats, spec.Threads)
 	if err != nil {
 		return nil, err
+	}
+	if spec.SkewCosts > 0 && spec.SkewCosts != 1 {
+		costs := sh.SpanCosts()
+		for i, p := range d.Parts {
+			if p.Type.States() == 4 {
+				costs[i] *= spec.SkewCosts
+			}
+		}
+		if err := sh.OverrideSpanCosts(costs); err != nil {
+			return nil, err
+		}
+	}
+	eng, err := core.NewSession(sh, tr, models, exec, core.Options{Specialize: true, Schedule: spec.Schedule})
+	if err != nil {
+		return nil, err
+	}
+	var roundEnd func()
+	if spec.Schedule == schedule.Measured {
+		roundEnd = func() { _, _ = eng.MaybeRebalance(spec.RebalanceThreshold) }
 	}
 
 	start := time.Now()
@@ -144,12 +185,14 @@ func Run(ctx context.Context, spec RunSpec) (*Measurement, error) {
 		if spec.SearchRadius > 0 {
 			cfg.Radius = spec.SearchRadius
 		}
+		cfg.RoundEnd = roundEnd
 		var res search.Result
 		res, runErr = search.New(eng, cfg).Run(ctx)
 		lnl = res.LnL
 	default:
 		cfg := opt.DefaultConfig(spec.Strategy)
 		cfg.OptimizeRates = spec.OptimizeRates
+		cfg.RoundEnd = roundEnd
 		lnl, _, runErr = opt.New(eng, cfg).OptimizeModel(ctx)
 	}
 	wall := time.Since(start).Seconds()
@@ -160,6 +203,25 @@ func Run(ctx context.Context, spec RunSpec) (*Measurement, error) {
 		WallSeconds: wall,
 		Stats:       *exec.Stats(),
 		Threads:     spec.Threads,
+		Rebalances:  eng.Rebalances(),
+	}
+	if spec.ProbeRegions > 0 && runErr == nil {
+		// End-state probe: measure the final schedule alone. One last
+		// rebalance opportunity first, so a window accumulated since the
+		// final round (e.g. the closing smoothing pass) can still be acted
+		// on before the probe pins the end state.
+		if roundEnd != nil {
+			roundEnd()
+			m.Rebalances = eng.Rebalances()
+		}
+		exec.Stats().Reset()
+		root := eng.Tree.Tips[0].Back
+		for i := 0; i < spec.ProbeRegions; i++ {
+			eng.InvalidateCLVs()
+			eng.Traverse(root, false, nil)
+			eng.Evaluate(root, nil)
+		}
+		m.EndStats = *exec.Stats()
 	}
 	m.PlatformSeconds = make(map[string]float64, len(parallel.Platforms))
 	for _, p := range parallel.Platforms {

@@ -190,6 +190,16 @@ func TestMicrobenchSmoke(t *testing.T) {
 	if kt.Threads != 1 || kt.EvaluateNsOp <= 0 || kt.NewviewNsOp <= 0 {
 		t.Errorf("timing: %+v", kt)
 	}
+	comp := rep.ScheduleComparison
+	if comp == nil {
+		t.Fatal("report misses the adaptive-vs-weighted schedule comparison")
+	}
+	if comp.CyclicImbalance < 1 || comp.WeightedImbalance < 1 || comp.AdaptiveImbalance < 1 {
+		t.Errorf("comparison imbalances below 1: %+v", comp)
+	}
+	if comp.LnLMaxAbsDiff > 1e-6 {
+		t.Errorf("schedule comparison likelihoods diverged: %+v", comp)
+	}
 	if _, err := Microbench([]int{0}, 0.002, 7); err == nil {
 		t.Error("expected error for zero thread count")
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -46,6 +47,11 @@ type MicrobenchReport struct {
 	// specialized vs generic kernels on the same commit.
 	TipDataset string          `json:"tip_dataset,omitempty"`
 	TipCase    []TipCaseTiming `json:"tip_case,omitempty"`
+	// ScheduleComparison is the adaptive-vs-weighted end-state imbalance
+	// comparison on the mispriced mixed DNA+AA workload (see
+	// AdaptiveComparison). Informational in the artifact; the hard gate for
+	// it lives in the bench package's acceptance test.
+	ScheduleComparison *AdaptiveComparison `json:"schedule_comparison,omitempty"`
 }
 
 // Microbench times the evaluate and newview kernels of a small-grid dataset
@@ -122,6 +128,15 @@ func Microbench(threadCounts []int, scale float64, seed int64) (*MicrobenchRepor
 	if err := tipCaseBench(rep, threadCounts, seed); err != nil {
 		return nil, err
 	}
+	// The feedback-loop comparison rides along in the same artifact: cyclic
+	// vs weighted vs adaptive end-state imbalance on the mispriced mixed
+	// workload, at the caller's scale (the experiment itself is defined at 8
+	// virtual workers, like the paper's 8-thread figures).
+	comp, _, err := adaptiveComparisonRun(context.Background(), FigureConfig{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rep.ScheduleComparison = comp
 	return rep, nil
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"time"
 
 	"phylo/internal/alignment"
 	"phylo/internal/parallel"
@@ -22,13 +23,21 @@ import (
 func (e *Engine) PrepareSumtable(p *tree.Node, active []bool) {
 	q := p.Back
 	act := e.activeOrAll(active)
+	e.refreshSchedule() // region boundary: adopt a rebalanced schedule if published
 	e.Exec.Run(parallel.RegionSumTable, func(w int, ctx *parallel.WorkerCtx) {
 		ops := 0.0
 		for ip := range e.Data.Parts {
 			if !act[ip] {
 				continue
 			}
+			var t0 time.Time
+			if e.measure {
+				t0 = time.Now()
+			}
 			ops += e.sumtablePartition(p, q, ip, w)
+			if e.measure {
+				e.chargePartition(w, ip, t0)
+			}
 		}
 		ctx.Ops += ops
 	})
@@ -154,6 +163,7 @@ func (e *Engine) sumtablePartition(p, q *tree.Node, ip, w int) float64 {
 // unit of synchronization the paper counts per Newton iteration.
 func (e *Engine) BranchDerivatives(z []float64, active []bool, d1, d2 []float64) {
 	act := e.activeOrAll(active)
+	e.refreshSchedule() // region boundary: adopt a rebalanced schedule if published
 	e.Exec.Run(parallel.RegionDerivative, func(w int, ctx *parallel.WorkerCtx) {
 		partials := e.derivPartials[w]
 		ex := e.exScratch[w]
@@ -164,7 +174,14 @@ func (e *Engine) BranchDerivatives(z []float64, active []bool, d1, d2 []float64)
 			if !act[ip] {
 				continue
 			}
+			var t0 time.Time
+			if e.measure {
+				t0 = time.Now()
+			}
 			ops += e.derivativePartition(ip, z[ip], w, partials, ex)
+			if e.measure {
+				e.chargePartition(w, ip, t0)
+			}
 		}
 		ctx.Ops += ops
 	})
@@ -218,6 +235,10 @@ func (e *Engine) derivativePartition(ip int, z float64, w int, partials, ex []fl
 				l1 += a * g1Tab[k]
 				l2 += a * g2Tab[k]
 			}
+			// The cs-length dot products above already ran, so the pattern is
+			// charged whether or not the guard below accepts its contribution;
+			// skipped patterns must not undercount the region's performed work.
+			count++
 			if l < 1e-300 {
 				// Scaled likelihood vanished; the pattern cannot inform this
 				// branch numerically. Skip it (RAxML guards identically).
@@ -228,7 +249,6 @@ func (e *Engine) derivativePartition(ip int, z float64, w int, partials, ex []fl
 			wgt := part.Weights[j]
 			dd1 += wgt * r1
 			dd2 += wgt * (l2*inv - r1*r1)
-			count++
 		}
 	}
 	partials[2*ip] = dd1

@@ -16,6 +16,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"phylo/internal/alignment"
 	"phylo/internal/model"
@@ -52,7 +53,21 @@ type Engine struct {
 
 	shared *Shared
 
-	sched    *schedule.Schedule
+	holder       *ScheduleHolder
+	sched        *schedule.Schedule
+	schedVersion int64
+	allMask      []bool // cached all-true partition mask (activeOrAll)
+
+	// Measurement attribution for the measured (adaptive) strategy: wall
+	// seconds and processed pattern counts per (worker, partition) since the
+	// last rebalance window reset. Written by worker w only inside regions,
+	// read by the session goroutine between regions (the barrier orders the
+	// accesses), so no locking is needed.
+	measure    bool
+	partSecs   [][]float64 // [worker][partition] measured seconds
+	partPats   [][]float64 // [worker][partition] processed pattern count
+	rebalances int
+
 	numCats  int
 	maxS     int
 	clvBase  []int // borrowed from shared: per-partition CLV offsets
@@ -140,10 +155,11 @@ func NewSession(sh *Shared, tr *tree.Tree, models []*model.Model, exec parallel.
 	default:
 		return nil, fmt.Errorf("core: tree has %d branch-length slots; want 1 or %d", tr.ZSlots, len(data.Parts))
 	}
-	sched, err := sh.ScheduleFor(opts.Schedule)
+	holder, err := sh.HolderFor(opts.Schedule)
 	if err != nil {
 		return nil, err
 	}
+	sched, version := holder.Current()
 	e := &Engine{
 		Data:           data,
 		Tree:           tr,
@@ -152,12 +168,19 @@ func NewSession(sh *Shared, tr *tree.Tree, models []*model.Model, exec parallel.
 		PerPartitionBL: perPart,
 		Specialize:     opts.Specialize,
 		shared:         sh,
+		holder:         holder,
 		sched:          sched,
+		schedVersion:   version,
+		measure:        opts.Schedule == schedule.Measured,
 		numCats:        sh.NumCats,
 		maxS:           sh.maxS,
 		clvBase:        sh.clvBase,
 		clvLen:         sh.clvLen,
 		sumBase:        sh.sumBase,
+	}
+	e.allMask = make([]bool, len(data.Parts))
+	for i := range e.allMask {
+		e.allMask[i] = true
 	}
 	nInner := tr.NumInner()
 	e.clvs = make([][]float64, nInner)
@@ -167,6 +190,14 @@ func NewSession(sh *Shared, tr *tree.Tree, models []*model.Model, exec parallel.
 		e.scales[i] = make([]int32, data.TotalPatterns)
 	}
 	e.sumtable = make([]float64, sh.sumLen)
+	if e.measure {
+		e.partSecs = make([][]float64, sh.Threads)
+		e.partPats = make([][]float64, sh.Threads)
+		for w := range e.partSecs {
+			e.partSecs[w] = make([]float64, len(data.Parts))
+			e.partPats[w] = make([]float64, len(data.Parts))
+		}
+	}
 	t := sh.Threads
 	e.evalPartials = make([][]float64, t)
 	e.derivPartials = make([][]float64, t)
@@ -221,9 +252,24 @@ func (e *Engine) scale(nodeIndex int) []int32 {
 	return e.scales[nodeIndex-e.Tree.NumTips()]
 }
 
-// Schedule exposes the precomputed pattern-to-worker assignment (for tests,
-// benchmarks, and tooling that reports per-worker load predictions).
+// Schedule exposes the session's currently pinned pattern-to-worker
+// assignment (for tests, benchmarks, and tooling that reports per-worker
+// load predictions).
 func (e *Engine) Schedule() *schedule.Schedule { return e.sched }
+
+// refreshSchedule re-pins the holder's current schedule if a rebalance
+// published a newer version. It is called at the start of every
+// region-issuing entry point — the region boundary — and only ever from the
+// session goroutine, so the pinned schedule is stable for the whole region
+// and workers never observe a swap mid-region. For static strategies the
+// version never changes and this is one atomic load.
+func (e *Engine) refreshSchedule() {
+	sched, version := e.holder.Current()
+	if version != e.schedVersion {
+		e.sched = sched
+		e.schedVersion = version
+	}
+}
 
 // workRuns returns worker w's share of partition ip as strided [Lo, Hi)
 // global pattern index runs, ascending. An empty slice means the worker has
@@ -233,17 +279,151 @@ func (e *Engine) workRuns(w, ip int) []schedule.Run {
 	return e.sched.SpanRuns(w, ip)
 }
 
-// activeOrAll returns an all-true mask when active is nil.
+// activeOrAll returns the cached all-true mask when active is nil. Callers
+// treat the mask as read-only; the cache removes a per-region allocation
+// from the hottest path (every Evaluate/Traverse/PrepareSumtable call).
 func (e *Engine) activeOrAll(active []bool) []bool {
 	if active != nil {
 		return active
 	}
-	all := make([]bool, len(e.Data.Parts))
-	for i := range all {
-		all[i] = true
-	}
-	return all
+	return e.allMask
 }
+
+// chargePartition attributes the monotonic wall time since t0 and the
+// worker's current pattern share to the (worker, partition) sample cell.
+// Kernel region loops call it right after a partition's work when e.measure
+// is set — two clock reads per (region, step, partition, worker), paid only
+// by measured-strategy sessions.
+func (e *Engine) chargePartition(w, ip int, t0 time.Time) {
+	e.partSecs[w][ip] += time.Since(t0).Seconds()
+	e.partPats[w][ip] += float64(runsPatternCount(e.workRuns(w, ip)))
+}
+
+// ObservedCosts derives per-partition per-pattern costs (seconds per
+// pattern) from the measurement window accumulated since the last reset.
+// Partitions with no processed patterns yet report zero, which Rebalance
+// treats as "keep the prior cost".
+func (e *Engine) ObservedCosts() schedule.PartitionCosts {
+	out := make(schedule.PartitionCosts, len(e.Data.Parts))
+	if !e.measure {
+		return out
+	}
+	for ip := range out {
+		secs, pats := 0.0, 0.0
+		for w := range e.partSecs {
+			secs += e.partSecs[w][ip]
+			pats += e.partPats[w][ip]
+		}
+		if pats > 0 && secs > 0 {
+			out[ip] = secs / pats
+		}
+	}
+	return out
+}
+
+// MeasuredImbalance is the max/avg ratio of the per-worker measured seconds
+// in the current window (1.0 = perfect balance, 1.0 when nothing has been
+// measured). This is the feedback signal the hysteresis threshold gates on.
+func (e *Engine) MeasuredImbalance() float64 {
+	if !e.measure {
+		return 1
+	}
+	max, sum := 0.0, 0.0
+	for w := range e.partSecs {
+		wt := 0.0
+		for _, s := range e.partSecs[w] {
+			wt += s
+		}
+		sum += wt
+		if wt > max {
+			max = wt
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(len(e.partSecs)))
+}
+
+// measuredWindowSeconds is the total measured time in the current window.
+func (e *Engine) measuredWindowSeconds() float64 {
+	total := 0.0
+	for w := range e.partSecs {
+		for _, s := range e.partSecs[w] {
+			total += s
+		}
+	}
+	return total
+}
+
+// ResetMeasurements clears the (worker, partition) sample window. Call it
+// after a rebalance so the next window measures the new assignment, not a
+// blend. Must be called between regions.
+func (e *Engine) ResetMeasurements() {
+	for w := range e.partSecs {
+		for ip := range e.partSecs[w] {
+			e.partSecs[w][ip] = 0
+			e.partPats[w][ip] = 0
+		}
+	}
+}
+
+// minRebalanceWindowSeconds is the measurement floor below which
+// MaybeRebalance refuses to act: windows shorter than this are dominated by
+// timer granularity and scheduling noise rather than kernel cost.
+const minRebalanceWindowSeconds = 5e-4
+
+// DefaultRebalanceThreshold is the hysteresis default: rebuild only when the
+// measured max/avg worker-time ratio exceeds 1.1x.
+const DefaultRebalanceThreshold = 1.1
+
+// MaybeRebalance closes the feedback loop for a measured-strategy session:
+// if the current window's measured worker-time imbalance exceeds the
+// hysteresis threshold (and the window is long enough to trust), it derives
+// observed per-pattern costs, publishes a rebuilt schedule through the
+// shared holder, adopts it immediately, and resets the window. It returns
+// whether a rebalance happened. threshold <= 1 selects
+// DefaultRebalanceThreshold. Must be called between regions (the optimizers
+// call it at round boundaries); sessions on static strategies return false.
+func (e *Engine) MaybeRebalance(threshold float64) (bool, error) {
+	if !e.measure {
+		return false, nil
+	}
+	if threshold <= 1 {
+		threshold = DefaultRebalanceThreshold
+	}
+	if e.measuredWindowSeconds() < minRebalanceWindowSeconds {
+		return false, nil
+	}
+	if e.MeasuredImbalance() <= threshold {
+		return false, nil
+	}
+	if err := e.RebalanceNow(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// RebalanceNow unconditionally rebuilds the measured schedule from the
+// current window's observed costs (keeping prior costs for partitions
+// without samples), publishes it, adopts it, and resets the window. Must be
+// called between regions.
+func (e *Engine) RebalanceNow() error {
+	if !e.measure {
+		return errors.New("core: RebalanceNow on a session without the measured schedule strategy")
+	}
+	if _, err := e.shared.RebalanceMeasured(e.ObservedCosts()); err != nil {
+		return err
+	}
+	e.refreshSchedule()
+	e.ResetMeasurements()
+	e.rebalances++
+	return nil
+}
+
+// Rebalances reports how many times this session rebuilt the measured
+// schedule.
+func (e *Engine) Rebalances() int { return e.rebalances }
 
 // InvalidateCLVs clears all CLV orientations, forcing the next traversal to
 // recompute everything (used after wholesale model changes).

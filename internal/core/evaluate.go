@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"phylo/internal/alignment"
 	"phylo/internal/parallel"
@@ -23,6 +24,7 @@ func (e *Engine) Evaluate(p *tree.Node, active []bool) (float64, []float64) {
 	// Orient so that the possibly-tip end is q: the kernel treats p's side
 	// as the pi-weighted "left" vector, which may be a tip vector too.
 	act := e.activeOrAll(active)
+	e.refreshSchedule() // region boundary: adopt a rebalanced schedule if published
 	e.Exec.Run(parallel.RegionEvaluate, func(w int, ctx *parallel.WorkerCtx) {
 		partials := e.evalPartials[w]
 		pm := e.pmScratch[w][0]
@@ -32,7 +34,14 @@ func (e *Engine) Evaluate(p *tree.Node, active []bool) (float64, []float64) {
 				partials[ip] = 0
 				continue
 			}
+			var t0 time.Time
+			if e.measure {
+				t0 = time.Now()
+			}
 			partials[ip], ops = e.evaluatePartition(p, q, ip, w, pm, ops)
+			if e.measure {
+				e.chargePartition(w, ip, t0)
+			}
 		}
 		ctx.Ops += ops
 	})
@@ -232,6 +241,12 @@ func (e *Engine) SiteLogLikelihoods(ip int) []float64 {
 			sc += e.scale(q.Index)[i]
 		}
 		li := evalPattern(pm, m.Freqs, s, cats, xl, pTip, xr, qTip, qTab, qCode) * invCats
+		if li <= 0 || math.IsNaN(li) {
+			// Mirror evaluatePartition's clamp exactly: without it this debug
+			// path could emit -Inf/NaN site log likelihoods and drift from the
+			// parallel reduction it promises to reproduce.
+			li = math.SmallestNonzeroFloat64
+		}
 		out[j] = math.Log(li) + float64(sc)*logMinLik
 	}
 	return out

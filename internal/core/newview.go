@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"phylo/internal/alignment"
 	"phylo/internal/parallel"
 	"phylo/internal/tree"
@@ -40,6 +42,7 @@ func (e *Engine) ExecuteSteps(steps []tree.TraversalStep, active []bool) {
 		tree.OrientX(st.P)
 	}
 	act := e.activeOrAll(active)
+	e.refreshSchedule() // region boundary: adopt a rebalanced schedule if published
 	e.Exec.Run(parallel.RegionNewview, func(w int, ctx *parallel.WorkerCtx) {
 		pmQ := e.pmScratch[w][0]
 		pmR := e.pmScratch[w][1]
@@ -49,7 +52,14 @@ func (e *Engine) ExecuteSteps(steps []tree.TraversalStep, active []bool) {
 				if !act[ip] {
 					continue
 				}
+				var t0 time.Time
+				if e.measure {
+					t0 = time.Now()
+				}
 				ops += e.newviewPartition(st, ip, w, pmQ, pmR)
+				if e.measure {
+					e.chargePartition(w, ip, t0)
+				}
 			}
 		}
 		ctx.Ops += ops

@@ -4,19 +4,61 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"phylo/internal/alignment"
 	"phylo/internal/schedule"
 )
 
+// versionedSchedule pairs an immutable schedule with a monotonically
+// increasing version number, so sessions can detect a rebuild with one
+// atomic pointer load.
+type versionedSchedule struct {
+	sched   *schedule.Schedule
+	version int64
+}
+
+// ScheduleHolder is an atomically swappable slot for one strategy's current
+// schedule. Schedules themselves are immutable; a rebuild publishes a *new*
+// schedule under the next version, and every session picks the new version up
+// at its own next region boundary (see Engine.refreshSchedule) — sessions
+// mid-region keep the pointer they pinned, so a swap can never disturb a
+// running region. Static strategies (cyclic, block, weighted) are published
+// once and never swapped; the measured strategy is republished by Rebalance.
+type ScheduleHolder struct {
+	v atomic.Pointer[versionedSchedule]
+}
+
+// newScheduleHolder publishes the initial schedule as version 1.
+func newScheduleHolder(s *schedule.Schedule) *ScheduleHolder {
+	h := &ScheduleHolder{}
+	h.v.Store(&versionedSchedule{sched: s, version: 1})
+	return h
+}
+
+// Current returns the holder's schedule and its version.
+func (h *ScheduleHolder) Current() (*schedule.Schedule, int64) {
+	vs := h.v.Load()
+	return vs.sched, vs.version
+}
+
+// publish swaps in a rebuilt schedule under the next version. Callers must
+// serialize publishes (Shared does, under its mutex).
+func (h *ScheduleHolder) publish(s *schedule.Schedule) {
+	old := h.v.Load()
+	h.v.Store(&versionedSchedule{sched: s, version: old.version + 1})
+}
+
 // Shared is the immutable, session-independent half of the likelihood
 // engine: the compressed alignment, the CLV/sumtable memory layout derived
-// from it, the per-pattern op-cost spans, and a cache of pattern-to-worker
-// schedules. All of this is fixed per dataset — the paper's point is that
+// from it, the per-pattern op-cost spans, and the per-strategy schedule
+// holders. All of this is fixed per dataset — the paper's point is that
 // it is built once and amortized over many likelihood evaluations — so one
 // Shared can back any number of concurrent session engines (see NewSession)
 // without synchronization on the hot path: every field is read-only after
-// construction except the schedule cache, which has its own mutex.
+// construction except the holder map (own mutex, lazily populated) and the
+// measured holder's current schedule, which RebalanceMeasured swaps
+// atomically (sessions only observe the swap at region boundaries).
 type Shared struct {
 	// Data is the compressed alignment (patterns, weights, tip encodings).
 	Data *alignment.CompressedData
@@ -35,8 +77,8 @@ type Shared struct {
 
 	spans []schedule.Span // per-partition pattern ranges with op costs
 
-	mu     sync.Mutex
-	scheds map[schedule.Strategy]*schedule.Schedule
+	mu      sync.Mutex
+	holders map[schedule.Strategy]*ScheduleHolder
 }
 
 // NewShared computes the session-independent engine state for one dataset:
@@ -60,7 +102,7 @@ func NewShared(data *alignment.CompressedData, numCats, threads int) (*Shared, e
 		clvBase: make([]int, len(data.Parts)),
 		sumBase: make([]int, len(data.Parts)),
 		spans:   make([]schedule.Span, len(data.Parts)),
-		scheds:  make(map[schedule.Strategy]*schedule.Schedule),
+		holders: make(map[schedule.Strategy]*ScheduleHolder),
 	}
 	off, soff := 0, 0
 	tipFrac := tipChildFrac(data.NumTaxa())
@@ -87,21 +129,93 @@ func NewShared(data *alignment.CompressedData, numCats, threads int) (*Shared, e
 	return sh, nil
 }
 
-// ScheduleFor returns the pattern-to-worker assignment for a strategy,
-// computing it on first use and caching it afterwards; concurrent sessions
-// share the cached schedules. Safe for concurrent use.
-func (sh *Shared) ScheduleFor(strategy schedule.Strategy) (*schedule.Schedule, error) {
+// HolderFor returns the versioned schedule holder for a strategy, building
+// the strategy's initial schedule on first use; concurrent sessions share
+// the holder. Safe for concurrent use.
+func (sh *Shared) HolderFor(strategy schedule.Strategy) (*ScheduleHolder, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if s, ok := sh.scheds[strategy]; ok {
-		return s, nil
+	if h, ok := sh.holders[strategy]; ok {
+		return h, nil
 	}
 	s, err := schedule.New(strategy, sh.Threads, sh.spans)
 	if err != nil {
 		return nil, err
 	}
-	sh.scheds[strategy] = s
+	h := newScheduleHolder(s)
+	sh.holders[strategy] = h
+	return h, nil
+}
+
+// ScheduleFor returns the current pattern-to-worker assignment for a
+// strategy (the holder's latest version). Safe for concurrent use.
+func (sh *Shared) ScheduleFor(strategy schedule.Strategy) (*schedule.Schedule, error) {
+	h, err := sh.HolderFor(strategy)
+	if err != nil {
+		return nil, err
+	}
+	s, _ := h.Current()
 	return s, nil
+}
+
+// RebalanceMeasured rebuilds the measured strategy's schedule from observed
+// per-pattern costs and publishes it as the next version. Every session
+// running the measured strategy — including concurrent ones — adopts the new
+// assignment at its own next region boundary; sessions never see a schedule
+// change mid-region, and because every schedule covers the identical global
+// pattern space and per-pattern results are schedule-invariant, a swap never
+// invalidates any session's CLVs or changes its likelihoods beyond
+// floating-point reassociation of the per-worker reduction. Concurrent
+// rebalances serialize; the last publish wins.
+func (sh *Shared) RebalanceMeasured(observed schedule.PartitionCosts) (*schedule.Schedule, error) {
+	h, err := sh.HolderFor(schedule.Measured)
+	if err != nil {
+		return nil, err
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	cur, _ := h.Current()
+	next, err := cur.Rebalance(observed)
+	if err != nil {
+		return nil, err
+	}
+	h.publish(next)
+	return next, nil
+}
+
+// OverrideSpanCosts replaces the analytic per-pattern span costs — one entry
+// per partition — before any schedule has been built. It exists for the
+// adaptive-scheduling experiments and tests, which deliberately misprice the
+// model to show the measured strategy recovering from a wrong prior; it is
+// not part of the production construction path.
+func (sh *Shared) OverrideSpanCosts(costs []float64) error {
+	if len(costs) != len(sh.spans) {
+		return fmt.Errorf("core: %d span costs for %d partitions", len(costs), len(sh.spans))
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if len(sh.holders) > 0 {
+		return errors.New("core: span costs can only be overridden before the first schedule is built")
+	}
+	for i, c := range costs {
+		if c < 0 {
+			return fmt.Errorf("core: negative span cost %v for partition %d", c, i)
+		}
+		sh.spans[i].Cost = c
+	}
+	return nil
+}
+
+// SpanCosts returns a copy of the current per-partition per-pattern costs
+// pricing the weighted/measured schedules (analytic until overridden).
+func (sh *Shared) SpanCosts() []float64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]float64, len(sh.spans))
+	for i, sp := range sh.spans {
+		out[i] = sp.Cost
+	}
+	return out
 }
 
 // NumPartitions returns the partition count of the underlying dataset.

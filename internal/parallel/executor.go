@@ -21,6 +21,8 @@
 //     DESIGN.md, substitution #1).
 package parallel
 
+import "time"
+
 // Region identifies the kind of a parallel region; the engine tags every Run
 // call so the statistics can attribute synchronization counts the way the
 // paper discusses them (branch-length work vs model optimization work).
@@ -58,11 +60,22 @@ func (r Region) String() string {
 // WorkerCtx carries per-worker instrumentation. Kernels add their weighted
 // operation counts (roughly: floating-point multiply-adds) to Ops; the
 // simulator turns them into virtual time, the pool merely accumulates them
-// for reporting. The padding avoids false sharing between workers.
+// for reporting. Seconds is written by the executor harness itself — the
+// measured wall-clock time this worker spent inside the current region's
+// closure (monotonic; see Pool.run) — and is collected master-side after the
+// barrier alongside Ops.
+//
+// The struct is padded to 128 bytes: adjacent entries of a []WorkerCtx are
+// written concurrently by different workers, and because Go only guarantees
+// 8-byte alignment for the backing array, a 64-byte struct can still straddle
+// cache lines (and the adjacent-line hardware prefetcher couples line pairs
+// anyway), so two cache lines per entry is the safe spacing. A compile-time
+// and unit-time check pin the size.
 type WorkerCtx struct {
-	Worker int
-	Ops    float64
-	_      [48]byte // pad to a cache line
+	Worker  int
+	Ops     float64
+	Seconds float64
+	_       [104]byte // pad to two cache lines (see type comment)
 }
 
 // Executor runs parallel regions over a fixed set of workers.
@@ -83,6 +96,7 @@ type Sequential struct {
 	ctx   WorkerCtx
 	stats Stats
 	ops   [1]float64
+	times [1]float64
 }
 
 // NewSequential returns a sequential executor.
@@ -91,12 +105,14 @@ func NewSequential() *Sequential { return &Sequential{} }
 // Threads returns 1.
 func (s *Sequential) Threads() int { return 1 }
 
-// Run executes fn for the single worker.
+// Run executes fn for the single worker, timing it like the pool does.
 func (s *Sequential) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
 	s.ctx.Ops = 0
+	start := time.Now()
 	fn(0, &s.ctx)
 	s.ops[0] = s.ctx.Ops
-	s.stats.record(kind, s.ops[:])
+	s.times[0] = time.Since(start).Seconds()
+	s.stats.record(kind, s.ops[:], s.times[:])
 }
 
 // Stats returns the accumulated statistics.

@@ -3,6 +3,7 @@ package parallel
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Pool is the real goroutine-based executor: T persistent workers receive
@@ -22,6 +23,7 @@ type Pool struct {
 	wg      sync.WaitGroup
 	ctxs    []WorkerCtx
 	ops     []float64 // master-side per-region op scratch
+	times   []float64 // master-side per-region wall-time scratch (seconds)
 
 	runMu  sync.Mutex // serializes regions across sessions
 	stats  Stats      // aggregate across all sessions (guarded by runMu)
@@ -38,6 +40,7 @@ func NewPool(threads int) (*Pool, error) {
 		cmds:    make([]chan func(), threads),
 		ctxs:    make([]WorkerCtx, threads),
 		ops:     make([]float64, threads),
+		times:   make([]float64, threads),
 	}
 	for w := 0; w < threads; w++ {
 		p.ctxs[w].Worker = w
@@ -68,8 +71,11 @@ func (p *Pool) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
 }
 
 // run executes one region over the worker goroutines, recording into the
-// aggregate stats and, when non-nil, a session's private stats. The caller
-// must hold runMu and have checked closed.
+// aggregate stats and, when non-nil, a session's private stats. Each worker
+// times its own closure on the monotonic clock and parks the duration in its
+// padded WorkerCtx (no cross-worker cache-line traffic); the master collects
+// the durations into the time scratch after the barrier, next to the op
+// scratch. The caller must hold runMu and have checked closed.
 func (p *Pool) run(kind Region, fn func(w int, ctx *WorkerCtx), extra *Stats) {
 	p.wg.Add(p.threads)
 	for w := 0; w < p.threads; w++ {
@@ -77,7 +83,9 @@ func (p *Pool) run(kind Region, fn func(w int, ctx *WorkerCtx), extra *Stats) {
 		ctx := &p.ctxs[w]
 		ctx.Ops = 0
 		p.cmds[w] <- func() {
+			start := time.Now()
 			fn(w, ctx)
+			ctx.Seconds = time.Since(start).Seconds()
 			p.wg.Done()
 		}
 	}
@@ -87,29 +95,34 @@ func (p *Pool) run(kind Region, fn func(w int, ctx *WorkerCtx), extra *Stats) {
 	// rather than being skipped, so idle workers show up in the imbalance.
 	for w := 0; w < p.threads; w++ {
 		p.ops[w] = p.ctxs[w].Ops
+		p.times[w] = p.ctxs[w].Seconds
 	}
 	p.record(kind, extra)
 }
 
 // runDegraded executes one region with all T virtual workers serially on
-// the calling goroutine (identical numerics to run, like Sim). The caller
-// must hold runMu.
+// the calling goroutine (identical numerics to run, like Sim). Each virtual
+// worker's serial execution is timed individually. The caller must hold
+// runMu.
 func (p *Pool) runDegraded(kind Region, fn func(w int, ctx *WorkerCtx), extra *Stats) {
 	for w := 0; w < p.threads; w++ {
 		ctx := &p.ctxs[w]
 		ctx.Ops = 0
+		start := time.Now()
 		fn(w, ctx)
+		ctx.Seconds = time.Since(start).Seconds()
 		p.ops[w] = ctx.Ops
+		p.times[w] = ctx.Seconds
 	}
 	p.record(kind, extra)
 }
 
-// record folds the per-worker op scratch into the aggregate (and optional
-// session) statistics. The caller must hold runMu.
+// record folds the per-worker op and time scratch into the aggregate (and
+// optional session) statistics. The caller must hold runMu.
 func (p *Pool) record(kind Region, extra *Stats) {
-	p.stats.record(kind, p.ops)
+	p.stats.record(kind, p.ops, p.times)
 	if extra != nil {
-		extra.record(kind, p.ops)
+		extra.record(kind, p.ops, p.times)
 	}
 }
 

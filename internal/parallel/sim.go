@@ -1,5 +1,7 @@
 package parallel
 
+import "time"
+
 // Sim executes regions with T virtual workers run serially on the calling
 // goroutine: the numerical results are bit-identical to a Pool run with the
 // same T, while the recorded statistics (critical-path ops per region, region
@@ -13,6 +15,7 @@ type Sim struct {
 	threads int
 	ctx     WorkerCtx
 	ops     []float64 // per-region op scratch
+	times   []float64 // per-region wall-time scratch (seconds)
 	stats   Stats
 }
 
@@ -21,7 +24,7 @@ func NewSim(threads int) (*Sim, error) {
 	if threads < 1 {
 		return nil, errBadThreads(threads)
 	}
-	return &Sim{threads: threads, ops: make([]float64, threads)}, nil
+	return &Sim{threads: threads, ops: make([]float64, threads), times: make([]float64, threads)}, nil
 }
 
 func errBadThreads(t int) error {
@@ -40,15 +43,21 @@ func (s *Sim) Threads() int { return s.threads }
 // Run executes fn serially for every virtual worker. Workers whose schedule
 // assignment is empty for this region record exactly zero ops (their Ops is
 // reset before fn runs and nothing adds to it), so the virtual clock and the
-// imbalance statistics see genuine idleness rather than stale counters.
+// imbalance statistics see genuine idleness rather than stale counters. Each
+// virtual worker's serial execution is wall-clock timed individually, so the
+// measured per-worker seconds are an honest (contention-free) sample of that
+// share's real cost on this host — the feedback the measured schedule
+// strategy consumes.
 func (s *Sim) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
 	for w := 0; w < s.threads; w++ {
 		s.ctx.Worker = w
 		s.ctx.Ops = 0
+		start := time.Now()
 		fn(w, &s.ctx)
+		s.times[w] = time.Since(start).Seconds()
 		s.ops[w] = s.ctx.Ops
 	}
-	s.stats.record(kind, s.ops)
+	s.stats.record(kind, s.ops, s.times)
 }
 
 // Stats returns accumulated instrumentation.

@@ -8,11 +8,17 @@ import (
 // Stats accumulates the two quantities that determine parallel performance in
 // the paper's analysis — how many synchronization events (regions/barriers)
 // were issued and how much bounded-by-the-slowest work each contained — plus
-// per-kind breakdowns and cumulative per-worker op totals (the direct view of
-// how well the schedule's assignment balanced the run). All updates happen on
-// the master side of the barrier, so no locking is needed. Workers that a
-// region's assignment leaves empty contribute exactly zero ops, so idle
-// workers are visible in (not hidden from) the imbalance metrics.
+// per-kind breakdowns and cumulative per-worker totals (the direct view of
+// how well the schedule's assignment balanced the run). Two parallel
+// accountings are kept: predicted weighted operation counts (what the
+// analytic cost model says the work was worth) and measured wall-clock
+// seconds (what the work actually cost on this host, monotonic-clock timed
+// per worker per region by the executors). The gap between the two is the
+// feedback signal the measured scheduling strategy closes. All updates happen
+// on the master side of the barrier, so no locking is needed. Workers that a
+// region's assignment leaves empty contribute exactly zero ops and
+// (near-)zero time, so idle workers are visible in (not hidden from) the
+// imbalance metrics.
 type Stats struct {
 	Regions      int64     // total parallel regions (= barriers for T > 1)
 	TotalOps     float64   // sum over regions of summed per-worker ops
@@ -20,10 +26,20 @@ type Stats struct {
 	WorkerOps    []float64 // cumulative ops per worker id across all regions
 	KindRegions  [numRegionKinds]int64
 	KindCritical [numRegionKinds]float64
+
+	// Measured wall-clock accounting, mirroring the op counters: per-worker
+	// in-region seconds, their critical path (sum over regions of the slowest
+	// worker's time), and per-kind critical time.
+	TotalTime    float64   // sum over regions of summed per-worker seconds
+	CriticalTime float64   // sum over regions of max per-worker seconds
+	WorkerTime   []float64 // cumulative measured seconds per worker id
+	KindTime     [numRegionKinds]float64
 }
 
-// record folds one region's per-worker op vector into the counters.
-func (s *Stats) record(kind Region, ops []float64) {
+// record folds one region's per-worker op and wall-time vectors into the
+// counters. times may be nil (no measurement available); it is otherwise
+// parallel to ops.
+func (s *Stats) record(kind Region, ops, times []float64) {
 	if kind < 0 || kind >= numRegionKinds {
 		kind = RegionOther
 	}
@@ -45,6 +61,25 @@ func (s *Stats) record(kind Region, ops []float64) {
 	s.CriticalOps += maxOps
 	s.KindRegions[kind]++
 	s.KindCritical[kind] += maxOps
+	if times == nil {
+		return
+	}
+	if len(s.WorkerTime) < len(times) {
+		grown := make([]float64, len(times))
+		copy(grown, s.WorkerTime)
+		s.WorkerTime = grown
+	}
+	maxT, sumT := 0.0, 0.0
+	for w, t := range times {
+		s.WorkerTime[w] += t
+		sumT += t
+		if t > maxT {
+			maxT = t
+		}
+	}
+	s.TotalTime += sumT
+	s.CriticalTime += maxT
+	s.KindTime[kind] += maxT
 }
 
 // Reset zeroes all counters.
@@ -59,36 +94,48 @@ func (s *Stats) Imbalance(threads int) float64 {
 	return s.CriticalOps / (s.TotalOps / float64(threads))
 }
 
-// WorkerImbalance is the max/avg ratio of the cumulative per-worker op
-// totals: how unevenly the whole run's work landed on workers, independent of
-// region boundaries. 1.0 means every worker did the same total work.
-func (s *Stats) WorkerImbalance() float64 {
-	if len(s.WorkerOps) == 0 {
+// maxAvgRatio returns max/avg of a per-worker vector, 1 when degenerate.
+func maxAvgRatio(v []float64) float64 {
+	if len(v) == 0 {
 		return 1
 	}
 	max, sum := 0.0, 0.0
-	for _, o := range s.WorkerOps {
-		sum += o
-		if o > max {
-			max = o
+	for _, x := range v {
+		sum += x
+		if x > max {
+			max = x
 		}
 	}
 	if sum == 0 {
 		return 1
 	}
-	return max / (sum / float64(len(s.WorkerOps)))
+	return max / (sum / float64(len(v)))
 }
+
+// WorkerImbalance is the max/avg ratio of the cumulative per-worker op
+// totals: how unevenly the whole run's work landed on workers, independent of
+// region boundaries. 1.0 means every worker did the same total work.
+func (s *Stats) WorkerImbalance() float64 { return maxAvgRatio(s.WorkerOps) }
+
+// TimeImbalance is the max/avg ratio of the cumulative per-worker measured
+// wall-clock seconds — the observed analogue of WorkerImbalance. Where
+// WorkerImbalance prices the run with the analytic op model, TimeImbalance
+// reports what the host actually did; a gap between the two means the model
+// mispriced the patterns (tip tables, cache effects, a noisy machine), which
+// is exactly the signal the measured scheduling strategy rebalances on.
+func (s *Stats) TimeImbalance() float64 { return maxAvgRatio(s.WorkerTime) }
 
 // String renders a compact per-kind table.
 func (s *Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "regions=%d totalOps=%.3g criticalOps=%.3g workerImbalance=%.3f\n",
-		s.Regions, s.TotalOps, s.CriticalOps, s.WorkerImbalance())
+	fmt.Fprintf(&b, "regions=%d totalOps=%.3g criticalOps=%.3g workerImbalance=%.3f timeImbalance=%.3f\n",
+		s.Regions, s.TotalOps, s.CriticalOps, s.WorkerImbalance(), s.TimeImbalance())
 	for k := Region(0); k < numRegionKinds; k++ {
 		if s.KindRegions[k] == 0 {
 			continue
 		}
-		fmt.Fprintf(&b, "  %-11s regions=%-10d criticalOps=%.3g\n", k.String(), s.KindRegions[k], s.KindCritical[k])
+		fmt.Fprintf(&b, "  %-11s regions=%-10d criticalOps=%.3g criticalTime=%.3gs\n",
+			k.String(), s.KindRegions[k], s.KindCritical[k], s.KindTime[k])
 	}
 	return b.String()
 }

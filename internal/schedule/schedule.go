@@ -19,10 +19,15 @@
 //     pattern chunks onto workers using per-pattern op costs, so mixed
 //     DNA/protein datasets balance by cost rather than by count while every
 //     worker still receives at most one contiguous run per partition.
+//   - Measured: the feedback-driven variant of Weighted. It is seeded from
+//     the analytic cost model, then rebuilt from observed per-pattern costs
+//     (measured per-worker wall time attributed to partitions) via Rebalance
+//     whenever the measured imbalance crosses a hysteresis threshold.
 package schedule
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -38,6 +43,15 @@ const (
 	Block
 	// Weighted LPT-bin-packs contiguous per-partition chunks by op cost.
 	Weighted
+	// Measured is the feedback-driven strategy: it starts out identical to
+	// Weighted (the analytic cost model is the best prior available before
+	// anything has run), and is then periodically rebuilt from *observed*
+	// per-pattern costs via Rebalance — measured per-worker wall time
+	// attributed back to (partition, pattern-count) samples by the engine.
+	// This closes the loop the static strategies leave open: tip tables,
+	// cache effects, or a mispriced model shift real costs away from the
+	// analytic prediction, and only measurement can see that.
+	Measured
 )
 
 // String names the strategy.
@@ -49,12 +63,15 @@ func (s Strategy) String() string {
 		return "block"
 	case Weighted:
 		return "weighted"
+	case Measured:
+		return "measured"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}
 }
 
-// Parse resolves a strategy name ("cyclic", "block", "weighted").
+// Parse resolves a strategy name ("cyclic", "block", "weighted",
+// "measured"/"adaptive").
 func Parse(name string) (Strategy, error) {
 	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "cyclic", "cycle", "stride":
@@ -63,8 +80,10 @@ func Parse(name string) (Strategy, error) {
 		return Block, nil
 	case "weighted", "lpt", "cost":
 		return Weighted, nil
+	case "measured", "adaptive", "feedback":
+		return Measured, nil
 	default:
-		return 0, fmt.Errorf("schedule: unknown strategy %q (want cyclic, block, or weighted)", name)
+		return 0, fmt.Errorf("schedule: unknown strategy %q (want cyclic, block, weighted, or measured/adaptive)", name)
 	}
 }
 
@@ -138,7 +157,9 @@ func New(strategy Strategy, threads int, spans []Span) (*Schedule, error) {
 		s.buildCyclic()
 	case Block:
 		s.buildBlock()
-	case Weighted:
+	case Weighted, Measured:
+		// Measured starts from the same analytic-cost LPT pack as Weighted;
+		// observed costs arrive later through Rebalance.
 		s.buildWeighted()
 	default:
 		return nil, fmt.Errorf("schedule: unknown strategy %v", strategy)
@@ -397,4 +418,32 @@ func (s *Schedule) buildWeighted() {
 			off += n
 		}
 	}
+}
+
+// PartitionCosts holds one observed per-pattern cost per span (partition),
+// in whatever unit the measurement produced (the engine uses seconds per
+// pattern). Only cost *ratios* matter to the LPT packing. A zero, negative,
+// or NaN entry means "no usable observation for this partition" and leaves
+// that span's prior cost in place on Rebalance.
+type PartitionCosts []float64
+
+// Rebalance derives a new schedule from observed per-pattern costs: the same
+// span (partition) boundaries and worker count as s, but each span priced at
+// the measured cost instead of the analytic model, then LPT-packed exactly
+// like the weighted strategy. The result always carries the Measured
+// strategy, covers the identical global pattern space (every pattern index
+// assigned to exactly one worker — see the property test), and shares no
+// mutable state with s, so callers can atomically swap it in while other
+// sessions keep using s.
+func (s *Schedule) Rebalance(observed PartitionCosts) (*Schedule, error) {
+	if len(observed) != len(s.spans) {
+		return nil, fmt.Errorf("schedule: %d observed costs for %d spans", len(observed), len(s.spans))
+	}
+	spans := append([]Span(nil), s.spans...)
+	for i, c := range observed {
+		if c > 0 && !math.IsNaN(c) && !math.IsInf(c, 0) {
+			spans[i].Cost = c
+		}
+	}
+	return New(Measured, s.threads, spans)
 }

@@ -1,6 +1,7 @@
 package schedule
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -30,7 +31,7 @@ func randomSpans(seed int64) []Span {
 // global pattern index in [0, Total) is assigned to exactly one worker, and
 // runs stay inside their span, ascending and disjoint.
 func TestEveryStrategyPartitions(t *testing.T) {
-	for _, strat := range []Strategy{Cyclic, Block, Weighted} {
+	for _, strat := range []Strategy{Cyclic, Block, Weighted, Measured} {
 		strat := strat
 		f := func(seedRaw uint16, tRaw uint8) bool {
 			spans := randomSpans(int64(seedRaw))
@@ -220,11 +221,14 @@ func TestWeightedBalancesMixedCosts(t *testing.T) {
 
 // TestParseAndString round-trips strategy names.
 func TestParseAndString(t *testing.T) {
-	for _, strat := range []Strategy{Cyclic, Block, Weighted} {
+	for _, strat := range []Strategy{Cyclic, Block, Weighted, Measured} {
 		got, err := Parse(strat.String())
 		if err != nil || got != strat {
 			t.Errorf("Parse(%q) = %v, %v", strat.String(), got, err)
 		}
+	}
+	if got, err := Parse("adaptive"); err != nil || got != Measured {
+		t.Errorf("Parse(adaptive) = %v, %v; want Measured", got, err)
 	}
 	if _, err := Parse("round-robin"); err == nil {
 		t.Error("expected error for unknown strategy name")
@@ -234,6 +238,82 @@ func TestParseAndString(t *testing.T) {
 	}
 	if _, err := New(Cyclic, 2, []Span{{Lo: 1, Hi: 3}}); err == nil {
 		t.Error("expected error for non-consecutive spans")
+	}
+}
+
+// TestRebalanceNeverDropsOrDuplicatesPatterns is the satellite property test
+// for the feedback loop: rebuilding a schedule from arbitrary observed
+// per-pattern costs (including zero, NaN, and wildly skewed entries) must
+// still assign every global pattern index to exactly one worker, keep the
+// span layout identical, and carry the Measured strategy.
+func TestRebalanceNeverDropsOrDuplicatesPatterns(t *testing.T) {
+	f := func(seedRaw uint16, tRaw uint8, costRaw uint32) bool {
+		spans := randomSpans(int64(seedRaw) + 31337)
+		threads := 1 + int(tRaw%33)
+		base, err := New(Measured, threads, spans)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(int64(costRaw)))
+		observed := make(PartitionCosts, len(spans))
+		for i := range observed {
+			switch rng.Intn(5) {
+			case 0:
+				observed[i] = 0 // no observation: keep prior cost
+			case 1:
+				observed[i] = math.NaN() // corrupt sample: keep prior cost
+			default:
+				observed[i] = math.Exp(rng.Float64()*12 - 6) // ~e^-6..e^6 spread
+			}
+		}
+		reb, err := base.Rebalance(observed)
+		if err != nil {
+			t.Logf("Rebalance failed: %v", err)
+			return false
+		}
+		if reb.Strategy() != Measured || reb.Threads() != threads || reb.Total() != base.Total() {
+			t.Logf("rebalanced identity wrong: %v T=%d total=%d", reb.Strategy(), reb.Threads(), reb.Total())
+			return false
+		}
+		owner := make([]int, reb.Total())
+		for i := range owner {
+			owner[i] = -1
+		}
+		for w := 0; w < threads; w++ {
+			for sp, span := range spans {
+				for _, r := range reb.SpanRuns(w, sp) {
+					if r.Lo < span.Lo || r.Hi > span.Hi {
+						t.Logf("run %+v escapes span %d [%d,%d)", r, sp, span.Lo, span.Hi)
+						return false
+					}
+					for i := r.Lo; i < r.Hi; i += r.Step {
+						if owner[i] != -1 {
+							t.Logf("pattern %d duplicated across workers %d and %d", i, owner[i], w)
+							return false
+						}
+						owner[i] = w
+					}
+				}
+			}
+		}
+		for i, w := range owner {
+			if w == -1 {
+				t.Logf("pattern %d dropped", i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+	// Length mismatch must be rejected.
+	base, err := New(Measured, 3, []Span{{0, 10, 1}, {10, 30, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Rebalance(PartitionCosts{1}); err == nil {
+		t.Error("expected error for observed-cost length mismatch")
 	}
 }
 
@@ -262,7 +342,7 @@ func TestBlockIsContiguous(t *testing.T) {
 // one run per span for every strategy (no per-pattern run overhead).
 func TestSequentialDegeneratesToFullSpans(t *testing.T) {
 	spans := []Span{{0, 100, 160}, {100, 250, 3360}}
-	for _, strat := range []Strategy{Cyclic, Block, Weighted} {
+	for _, strat := range []Strategy{Cyclic, Block, Weighted, Measured} {
 		s, err := New(strat, 1, spans)
 		if err != nil {
 			t.Fatal(err)

@@ -88,9 +88,18 @@ const (
 	// ScheduleWeighted LPT-bin-packs patterns onto workers by per-pattern op
 	// cost, balancing mixed DNA/protein datasets by cost rather than count.
 	ScheduleWeighted = schedule.Weighted
+	// ScheduleMeasured (CLI name "adaptive") is the feedback-driven strategy:
+	// it starts from the weighted pack, measures each worker's wall-clock
+	// time per partition while the analysis runs, and rebuilds the assignment
+	// from the observed per-pattern costs whenever the measured imbalance
+	// exceeds AnalysisOptions.RebalanceThreshold (hysteresis, default 1.1x).
+	// Rebalances happen between optimizer/search rounds and swap in atomically
+	// at region boundaries, so they never perturb a session's likelihoods.
+	ScheduleMeasured = schedule.Measured
 )
 
-// ParseScheduleStrategy resolves "cyclic", "block", or "weighted".
+// ParseScheduleStrategy resolves "cyclic", "block", "weighted", or
+// "measured"/"adaptive".
 func ParseScheduleStrategy(name string) (ScheduleStrategy, error) { return schedule.Parse(name) }
 
 // Alignment is a multiple sequence alignment plus its partition scheme.
@@ -281,6 +290,18 @@ func RobinsonFoulds(newickA, newickB string, taxa []string) (int, error) {
 // scale (1.0 = paper scale). The result carries the partition scheme.
 func SimulateGrid(taxa, sites, partLen int, scale float64, seed int64) (*Alignment, error) {
 	ds, err := seqsim.GridDataset(taxa, sites, partLen, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Alignment{raw: ds.Alignment, parts: ds.Parts}, nil
+}
+
+// SimulateMixed generates a partitioned alignment mixing DNA and protein
+// partitions of jittered lengths around partLen columns — the workload whose
+// ~25x per-pattern cost spread separates the scheduling strategies (see
+// ScheduleWeighted and ScheduleMeasured).
+func SimulateMixed(taxa, dnaParts, aaParts, partLen int, scale float64, seed int64) (*Alignment, error) {
+	ds, err := seqsim.MixedDataset(taxa, dnaParts, aaParts, partLen, scale, seed)
 	if err != nil {
 		return nil, err
 	}
