@@ -60,6 +60,13 @@ type ProgressEvent struct {
 	// Rebalances counts the measured-schedule rebuilds performed so far
 	// (always 0 for static schedule strategies).
 	Rebalances int
+	// StealCount and StolenPatterns report the intra-region work-stealing
+	// activity so far (always 0 unless the Dataset enables Steal): how many
+	// steal operations workers performed and how many patterns migrated
+	// through them. Sustained heavy migration means the schedule's static
+	// pack is mispriced, not just noisy.
+	StealCount     float64
+	StolenPatterns float64
 }
 
 // AnalysisOptions configures one analysis session over a Dataset. Only
@@ -89,6 +96,13 @@ type AnalysisOptions struct {
 	// Values <= 1 select the default of 1.1; the field is ignored unless the
 	// Dataset was built with ScheduleMeasured.
 	RebalanceThreshold float64
+	// MinChunk is the minimum stealable work unit in alignment patterns for
+	// a session on a Steal-enabled Dataset (0 selects the default of 64,
+	// which amortizes the tip-table fast path). Smaller chunks bound tail
+	// latency tighter but migrate more per-span setup work; the value never
+	// affects results, only the work distribution. Ignored unless
+	// DatasetOptions.Steal is set.
+	MinChunk int
 }
 
 // Analysis is one live likelihood session over a Dataset. It owns only the
@@ -169,7 +183,12 @@ func (ds *Dataset) newAnalysis(o AnalysisOptions) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.NewSession(ds.shared, tr, models, exec, core.Options{Specialize: true, Schedule: ds.opts.Schedule})
+	eng, err := core.NewSession(ds.shared, tr, models, exec, core.Options{
+		Specialize: true,
+		Schedule:   ds.opts.Schedule,
+		Steal:      ds.opts.Steal,
+		MinChunk:   o.MinChunk,
+	})
 	if err != nil {
 		exec.Close()
 		return nil, err
@@ -296,6 +315,8 @@ func (an *Analysis) emit(ev ProgressEvent) {
 	ev.WorkerImbalance = st.WorkerImbalance()
 	ev.TimeImbalance = st.TimeImbalance()
 	ev.Rebalances = an.eng.Rebalances()
+	ev.StealCount = st.StealCount
+	ev.StolenPatterns = st.StolenPatterns
 	an.progress(ev)
 }
 
@@ -440,6 +461,14 @@ type SyncStats struct {
 	WorkerTime []float64
 	// Rebalances counts this session's measured-schedule rebuilds.
 	Rebalances int
+	// StealCount/StolenPatterns total the session's intra-region steal
+	// operations and the patterns that migrated through them; WorkerSteals
+	// is the per-worker steal-count distribution (all zero unless the
+	// Dataset enables Steal). A worker with a high steal count is one that
+	// kept draining its share early — the under-priced side of the pack.
+	StealCount     float64
+	StolenPatterns float64
+	WorkerSteals   []float64
 }
 
 // Stats returns the session's accumulated parallel runtime statistics
@@ -458,6 +487,9 @@ func (an *Analysis) Stats() SyncStats {
 		TimeImbalance:   s.TimeImbalance(),
 		WorkerTime:      append([]float64(nil), s.WorkerTime...),
 		Rebalances:      an.eng.Rebalances(),
+		StealCount:      s.StealCount,
+		StolenPatterns:  s.StolenPatterns,
+		WorkerSteals:    append([]float64(nil), s.WorkerSteals...),
 	}
 }
 

@@ -110,6 +110,14 @@ func writeReport(rep *bench.MicrobenchReport, out string) {
 		fmt.Printf("T=%-2d tip-heavy newview: specialized %10.0f ns/op   generic %10.0f ns/op   speedup %.2fx\n",
 			tc.Threads, tc.SpecializedNsOp, tc.GenericNsOp, tc.Speedup)
 	}
+	for _, sm := range rep.Steal {
+		fmt.Printf("T=%-2d steal: %6.0f steals  %8.0f patterns migrated (%.1f%% of processed)  time-imbalance %.3f  per-worker %v\n",
+			sm.Threads, sm.StealCount, sm.StolenPatterns, 100*sm.MigratedFraction, sm.TimeImbalance, sm.WorkerSteals)
+	}
+	if c := rep.StealComparison; c != nil {
+		fmt.Printf("steal-vs-weighted end state: static time-imbalance %.4f, steal %.4f (%.0f steals)\n",
+			c.WeightedTimeImbalance, c.StealTimeImbalance, c.StealCount)
+	}
 	fmt.Printf("wrote %s\n", out)
 }
 

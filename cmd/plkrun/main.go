@@ -15,6 +15,7 @@
 //	plkrun -grid d50_50000 -partlen 1000 -scale 0.02 -mode modelopt -threads 16 -virtual -strategy old
 //	plkrun -real r125_19839 -scale 0.05 -mode search -threads 8 -progress
 //	plkrun -grid d50_50000 -scale 0.01 -mode modelopt -threads 4 -sessions 3
+//	plkrun -grid d50_50000 -scale 0.02 -mode modelopt -threads 8 -schedule weighted -steal
 package main
 
 import (
@@ -44,6 +45,8 @@ func main() {
 		strategy  = flag.String("strategy", "new", "parallelization strategy: old | new")
 		schedFlag = flag.String("schedule", "cyclic", "pattern-to-worker assignment: cyclic | block | weighted | adaptive")
 		rebThresh = flag.Float64("rebalance-threshold", 0, "measured worker-time imbalance that triggers an adaptive reschedule (<=1 = default 1.1; only with -schedule adaptive)")
+		stealFlag = flag.Bool("steal", false, "intra-region work stealing: chunked per-worker deques, drained workers steal half of the most loaded victim")
+		minChunk  = flag.Int("min-chunk", 0, "minimum stealable chunk size in patterns (0 = default 64; only with -steal)")
 		perPart   = flag.Bool("perpart", false, "per-partition branch lengths")
 		virtual   = flag.Bool("virtual", false, "virtual workers + platform pricing instead of real goroutines")
 		seed      = flag.Int64("seed", 42, "random seed (datasets and starting tree)")
@@ -76,6 +79,7 @@ func main() {
 		Threads:        *threads,
 		Schedule:       sched,
 		VirtualThreads: *virtual,
+		Steal:          *stealFlag,
 	})
 	if err != nil {
 		fatal(err)
@@ -87,6 +91,7 @@ func main() {
 		PerPartitionBranchLengths: *perPart,
 		Seed:                      *seed,
 		RebalanceThreshold:        *rebThresh,
+		MinChunk:                  *minChunk,
 	}
 	if *treePath != "" {
 		nwk, err := os.ReadFile(*treePath)
@@ -131,6 +136,10 @@ func main() {
 		st.Regions, st.Imbalance, st.WorkerImbalance, st.TimeImbalance)
 	if sched == phylo.ScheduleMeasured {
 		fmt.Printf("adaptive schedule: %d rebalance(s)\n", st.Rebalances)
+	}
+	if *stealFlag {
+		fmt.Printf("work stealing: %.0f steal(s), %.0f patterns migrated; per-worker steals %v\n",
+			st.StealCount, st.StolenPatterns, st.WorkerSteals)
 	}
 	if *virtual {
 		for _, p := range []string{"Nehalem", "Clovertown", "Barcelona", "x4600"} {

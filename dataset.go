@@ -41,6 +41,20 @@ type DatasetOptions struct {
 	// executor (serial execution on a virtual clock, see Options); sessions
 	// then price their traces independently with PlatformSeconds.
 	VirtualThreads bool
+	// Steal enables intra-region work stealing for every session: each
+	// worker's scheduled pattern share is sliced into chunks on a per-worker
+	// deque, and a worker that finishes early steals the largest remaining
+	// half from the most-loaded victim instead of idling at the region
+	// barrier. Results are bit-for-bit identical with stealing on or off
+	// (reductions run over per-chunk partials in fixed chunk order); steal
+	// activity is reported through SyncStats and ProgressEvent. Stealing
+	// composes with every Schedule strategy, including ScheduleMeasured:
+	// the schedule remains the locality prior and rebalancing re-prices it
+	// between rounds, while stealing absorbs the residual mispricing inside
+	// each region. It is a Dataset option because it selects the execution
+	// model all sessions share; the chunk granularity is tuned per session
+	// via AnalysisOptions.MinChunk.
+	Steal bool
 }
 
 // Dataset is the immutable, shareable result of the per-dataset setup work

@@ -86,6 +86,17 @@ type RunSpec struct {
 	// Measurement.EndStats isolates the end-state assignment quality from
 	// the pre-rebalance history.
 	ProbeRegions int
+
+	// Steal runs the analysis on the chunked work-stealing execution path:
+	// workers that drain their scheduled share steal the largest remaining
+	// half from the most loaded victim instead of idling at each region
+	// barrier. Results are bit-for-bit identical to the same chunked run
+	// without thieving and within reassociation tolerance of the
+	// precomputed-assignment path; Stats/EndStats carry the steal counters.
+	Steal bool
+	// MinChunk is the minimum stealable chunk size in patterns (0 = the
+	// engine default of 64). Only meaningful with Steal.
+	MinChunk int
 }
 
 // Measurement is the outcome of one run. Stats carries the cumulative
@@ -164,7 +175,12 @@ func Run(ctx context.Context, spec RunSpec) (*Measurement, error) {
 			return nil, err
 		}
 	}
-	eng, err := core.NewSession(sh, tr, models, exec, core.Options{Specialize: true, Schedule: spec.Schedule})
+	eng, err := core.NewSession(sh, tr, models, exec, core.Options{
+		Specialize: true,
+		Schedule:   spec.Schedule,
+		Steal:      spec.Steal,
+		MinChunk:   spec.MinChunk,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -48,5 +48,23 @@ func CompareReports(baseline, fresh *MicrobenchReport, tol float64) []string {
 		}
 		check("newview-tip(specialized)", tc.Threads, b.SpecializedNsOp, tc.SpecializedNsOp)
 	}
+	// Stealing pathology: on the honestly priced microbenchmark workload,
+	// more than half of all patterns migrating means the static pack is
+	// systematically mispriced — stealing is papering over a scheduling bug,
+	// not absorbing noise. Requires no baseline entry (it is an absolute
+	// property of the fresh run) but only fires when the workers actually
+	// ran in parallel: with Threads > Cores the OS time-shares workers and
+	// whichever runs first legitimately swallows the stragglers' deques.
+	for _, sm := range fresh.Steal {
+		if sm.Threads <= sm.Cores && sm.MigratedFraction > stealMigrationCeiling {
+			regressions = append(regressions,
+				fmt.Sprintf("steal @ %d threads (%d cores): %.0f%% of patterns migrated (ceiling %.0f%%) — the static pack is mispriced, rebalance the cost model",
+					sm.Threads, sm.Cores, 100*sm.MigratedFraction, 100*stealMigrationCeiling))
+		}
+	}
 	return regressions
 }
+
+// stealMigrationCeiling is the migrated-pattern fraction above which the
+// perf gate treats stealing as a symptom rather than a cure.
+const stealMigrationCeiling = 0.5

@@ -78,6 +78,56 @@ func TestCompareReportsGate(t *testing.T) {
 	}
 }
 
+// TestCompareReportsFlagsStealPathology covers the stealing arm of the perf
+// gate: >50% of patterns migrating at a genuinely parallel thread count is a
+// mispriced static pack and must fail, while the same fraction on an
+// oversubscribed host (workers time-sharing cores) is a scheduling artifact
+// and must pass.
+func TestCompareReportsFlagsStealPathology(t *testing.T) {
+	base := checkReport()
+	healthy := checkReport()
+	healthy.Steal = []StealMicrobench{
+		{Threads: 4, Cores: 8, MigratedFraction: 0.12, StealCount: 40, StolenPatterns: 4000, ProcessedPatterns: 33000},
+	}
+	if regs := CompareReports(base, healthy, 0.20); len(regs) != 0 {
+		t.Fatalf("modest migration must pass, got %v", regs)
+	}
+
+	sick := checkReport()
+	sick.Steal = []StealMicrobench{
+		{Threads: 4, Cores: 8, MigratedFraction: 0.62, StealCount: 900, StolenPatterns: 20000, ProcessedPatterns: 33000},
+	}
+	regs := CompareReports(base, sick, 0.20)
+	if len(regs) != 1 {
+		t.Fatalf("want exactly one steal pathology, got %v", regs)
+	}
+	if !strings.Contains(regs[0], "steal @ 4 threads") || !strings.Contains(regs[0], "mispriced") {
+		t.Errorf("pathology message %q should name the thread count and the diagnosis", regs[0])
+	}
+
+	// Same migration with 8 workers on 1 core: oversubscription, not a
+	// mispriced pack — whichever worker the OS runs first legitimately
+	// swallows the deques of workers that have not started yet.
+	oversub := checkReport()
+	oversub.Steal = []StealMicrobench{
+		{Threads: 8, Cores: 1, MigratedFraction: 0.85, StealCount: 5000, StolenPatterns: 50000, ProcessedPatterns: 60000},
+	}
+	if regs := CompareReports(base, oversub, 0.20); len(regs) != 0 {
+		t.Errorf("oversubscribed migration must be skipped, got %v", regs)
+	}
+
+	// Exactly at the ceiling passes; just above fails.
+	edge := checkReport()
+	edge.Steal = []StealMicrobench{{Threads: 2, Cores: 2, MigratedFraction: 0.5}}
+	if regs := CompareReports(base, edge, 0.20); len(regs) != 0 {
+		t.Errorf("50%% migration at the 50%% ceiling must pass, got %v", regs)
+	}
+	edge.Steal[0].MigratedFraction = 0.51
+	if regs := CompareReports(base, edge, 0.20); len(regs) != 1 {
+		t.Errorf("51%% migration must fail, got %v", regs)
+	}
+}
+
 // TestTipCaseSpeedupRecorded guards the acceptance criterion: the microbench
 // report must carry tip-case entries with a computed speedup, and at one
 // thread — where the kernel is arithmetic-bound and the measured margin is

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"runtime"
 
 	"phylo/internal/opt"
 	"phylo/internal/parallel"
@@ -494,13 +495,156 @@ func AdaptiveExperiment(ctx context.Context, cfg FigureConfig) error {
 	return nil
 }
 
+// StealComparison is the machine-readable outcome of the work-stealing
+// experiment: end-state measured per-worker time imbalance of the static
+// weighted pack vs the same pack with intra-region stealing, on the mixed
+// DNA+AA workload whose analytic cost model is deliberately mispriced (so
+// the static pack places the expensive narrow-partition remainder patterns
+// blindly and stealing has real skew to absorb). CI serializes it into
+// BENCH_plk.json next to the kernel timings.
+type StealComparison struct {
+	Dataset   string  `json:"dataset"`
+	SkewCosts float64 `json:"skew_costs"`
+	Threads   int     `json:"threads"`
+	// Cores is runtime.NumCPU() at measurement time. Per-worker *work* time
+	// (barrier waits excluded) only reflects load balance when the workers
+	// actually run in parallel: with Threads > Cores the OS decides which
+	// worker executes the stolen work, so the acceptance gate skips the
+	// imbalance clause on such hosts (the comparison is still recorded).
+	Cores int `json:"cores"`
+	// End-state probe TimeImbalance (max/avg measured per-worker seconds)
+	// under the final schedule, without and with stealing.
+	WeightedTimeImbalance float64 `json:"weighted_time_imbalance"`
+	StealTimeImbalance    float64 `json:"steal_time_imbalance"`
+	// Probe steal activity: operations, migrated patterns, the per-worker
+	// steal-count distribution, and the migrated fraction of all patterns
+	// the probe processed.
+	StealCount       float64   `json:"steal_count"`
+	StolenPatterns   float64   `json:"stolen_patterns"`
+	WorkerSteals     []float64 `json:"worker_steals"`
+	MigratedFraction float64   `json:"migrated_fraction"`
+	// LnLAbsDiff is |lnL(steal) - lnL(static)| — stealing must never change
+	// results beyond floating-point reassociation of the reductions.
+	LnLAbsDiff float64 `json:"lnl_abs_diff"`
+}
+
+// stealProbeRegions is the end-state probe length of the steal comparison:
+// enough full traversal+evaluate passes to average region-level scheduling
+// noise out of the measured per-worker seconds. The static pack's skew is
+// deterministic and accumulates coherently across passes, while on an
+// oversubscribed host the steal side's work placement is
+// scheduler-randomized per region and averages toward uniform — so a longer
+// probe widens the gate's margin exactly where it is noisiest.
+const stealProbeRegions = 24
+
+// probeProcessedPatterns is the pattern-execution count of `passes` full
+// traversal+evaluate probe passes on an n-taxon dataset: each pass touches
+// every pattern once per newview step (taxa-2 steps in a full traversal to
+// the canonical root) and once more in the evaluate region. It is the
+// denominator of every migrated-pattern fraction, shared so the probe shape
+// and the metric cannot drift apart.
+func probeProcessedPatterns(passes, taxa, patterns int) float64 {
+	return float64(passes) * float64(taxa-1) * float64(patterns)
+}
+
+// stealComparisonRun executes the two-sided comparison on the mispriced
+// mixed DNA+AA workload at 8 real pool workers: a model optimization under
+// the static weighted schedule, and the same configuration with chunked
+// work stealing, both followed by an identical end-state probe whose
+// measured per-worker seconds are the quantity under test. Unlike the
+// adaptive comparison (virtual workers, op counters), this one needs real
+// concurrency — stealing exists to keep real workers busy while a real
+// straggler finishes — so it runs on BackendPool and is gated on wall-clock
+// time imbalance.
+func stealComparisonRun(ctx context.Context, cfg FigureConfig) (*StealComparison, map[bool]*Measurement, error) {
+	ds, err := MixedScheduleDataset(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Use as many workers as the host can genuinely run in parallel (up to
+	// the paper's 8), but at least 2 so stealing exists at all; see the
+	// Cores field for why oversubscription would invalidate the metric.
+	threads := runtime.NumCPU()
+	if threads > 8 {
+		threads = 8
+	}
+	if threads < 2 {
+		threads = 2
+	}
+	out := &StealComparison{Dataset: ds.Name, SkewCosts: adaptiveSkewFactor, Threads: threads, Cores: runtime.NumCPU()}
+	results := make(map[bool]*Measurement, 2)
+	for _, stealOn := range []bool{false, true} {
+		m, err := Run(ctx, RunSpec{
+			Dataset:        ds,
+			Partitioned:    true,
+			PerPartitionBL: true,
+			Strategy:       opt.NewPar,
+			Schedule:       schedule.Weighted,
+			Threads:        threads,
+			Mode:           ModeModelOpt,
+			Backend:        BackendPool,
+			TreeSeed:       cfg.Seed + 100,
+			SkewCosts:      adaptiveSkewFactor,
+			ProbeRegions:   stealProbeRegions,
+			Steal:          stealOn,
+			MinChunk:       16,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		results[stealOn] = m
+	}
+	static, stolen := results[false], results[true]
+	out.WeightedTimeImbalance = static.EndStats.TimeImbalance()
+	out.StealTimeImbalance = stolen.EndStats.TimeImbalance()
+	out.StealCount = stolen.EndStats.StealCount
+	out.StolenPatterns = stolen.EndStats.StolenPatterns
+	out.WorkerSteals = append([]float64(nil), stolen.EndStats.WorkerSteals...)
+	st := ds.Stats()
+	processed := probeProcessedPatterns(stealProbeRegions, ds.Alignment.NumTaxa(), st.TotalPatterns)
+	if processed > 0 {
+		out.MigratedFraction = out.StolenPatterns / processed
+	}
+	out.LnLAbsDiff = math.Abs(stolen.LnL - static.LnL)
+	return out, results, nil
+}
+
+// StealExperiment is the intra-region work-stealing demonstration: on the
+// mispriced mixed DNA+AA workload, the static weighted pack leaves real
+// per-worker skew inside every region (the remainder patterns of ~20
+// narrow partitions land blindly), so the end-state measured time imbalance
+// of the stolen-work run must not exceed the static pack's — while the
+// likelihood stays put.
+func StealExperiment(ctx context.Context, cfg FigureConfig) error {
+	fmt.Fprintln(cfg.Out, "=== Intra-region work stealing: mispriced mixed DNA+AA workload, model-opt (real pool) ===")
+	comp, results, err := stealComparisonRun(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.Out, "dataset %s (scale %.3g): %d workers on %d cores; DNA span costs deliberately mispriced %.0fx; end-state probe of %d passes\n",
+		comp.Dataset, cfg.Scale, comp.Threads, comp.Cores, comp.SkewCosts, stealProbeRegions)
+	if comp.Threads > comp.Cores {
+		fmt.Fprintf(cfg.Out, "note: %d workers time-share %d cores, so per-worker work time reflects OS scheduling, not load balance\n",
+			comp.Threads, comp.Cores)
+	}
+	fmt.Fprintf(cfg.Out, "%-16s end-state time-imbalance=%.4f lnL=%.2f\n",
+		"weighted-static", comp.WeightedTimeImbalance, results[false].LnL)
+	fmt.Fprintf(cfg.Out, "%-16s end-state time-imbalance=%.4f lnL=%.2f steals=%.0f stolenPatterns=%.0f (%.1f%% migrated)\n",
+		"weighted+steal", comp.StealTimeImbalance, results[true].LnL,
+		comp.StealCount, comp.StolenPatterns, 100*comp.MigratedFraction)
+	fmt.Fprintf(cfg.Out, "steal/static time-imbalance ratio: %.4f (<= 1 means stealing bounded the intra-region tail)\n",
+		comp.StealTimeImbalance/comp.WeightedTimeImbalance)
+	fmt.Fprintf(cfg.Out, "|lnL difference|: %.3g (stealing must never change results)\n\n", comp.LnLAbsDiff)
+	return nil
+}
+
 // RunAll regenerates every figure and text result in paper order, then the
 // reproduction's own schedule-strategy comparisons.
 func RunAll(ctx context.Context, cfg FigureConfig) error {
 	steps := []func(context.Context, FigureConfig) error{
 		Figure3, Figure4, Figure5, Figure6,
 		JointBLExperiment, ModelOptExperiment, ProteinExperiment, WidthMicrobench,
-		ScheduleExperiment, AdaptiveExperiment,
+		ScheduleExperiment, AdaptiveExperiment, StealExperiment,
 	}
 	for _, f := range steps {
 		if err := f(ctx, cfg); err != nil {

@@ -3,12 +3,14 @@ package bench
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"phylo/internal/alignment"
 	"phylo/internal/core"
 	"phylo/internal/model"
 	"phylo/internal/parallel"
+	"phylo/internal/schedule"
 	"phylo/internal/seqsim"
 	"phylo/internal/tree"
 )
@@ -52,6 +54,35 @@ type MicrobenchReport struct {
 	// AdaptiveComparison). Informational in the artifact; the hard gate for
 	// it lives in the bench package's acceptance test.
 	ScheduleComparison *AdaptiveComparison `json:"schedule_comparison,omitempty"`
+	// Steal records the work-stealing microbenchmark on the honestly priced
+	// small-grid workload: per-worker steal-count distribution and the
+	// fraction of processed patterns that migrated, per thread count. On a
+	// well-priced pack migration should be modest; CompareReports flags
+	// >50% migration at thread counts the host can actually run in parallel
+	// as a stealing pathology (the static pack is mispriced, not noisy).
+	Steal []StealMicrobench `json:"steal,omitempty"`
+	// StealComparison is the steal-vs-static end-state time-imbalance
+	// comparison on the mispriced mixed workload (see StealComparison);
+	// informational here, hard-gated by the bench acceptance test.
+	StealComparison *StealComparison `json:"steal_comparison,omitempty"`
+}
+
+// StealMicrobench is the per-thread-count stealing fingerprint of the
+// kernel microbenchmark workload (weighted schedule, honest analytic
+// costs): how much work migrated and to whom.
+type StealMicrobench struct {
+	Threads int `json:"threads"`
+	// Cores is runtime.NumCPU() at measurement time. With Threads > Cores
+	// the workers time-share processors and migration is dominated by OS
+	// scheduling, not by pack quality, so the pathology gate only fires for
+	// Threads <= Cores.
+	Cores             int       `json:"cores"`
+	TimeImbalance     float64   `json:"time_imbalance"`
+	StealCount        float64   `json:"steal_count"`
+	StolenPatterns    float64   `json:"stolen_patterns"`
+	ProcessedPatterns float64   `json:"processed_patterns"`
+	MigratedFraction  float64   `json:"migrated_fraction"`
+	WorkerSteals      []float64 `json:"worker_steals"`
 }
 
 // Microbench times the evaluate and newview kernels of a small-grid dataset
@@ -128,6 +159,9 @@ func Microbench(threadCounts []int, scale float64, seed int64) (*MicrobenchRepor
 	if err := tipCaseBench(rep, threadCounts, seed); err != nil {
 		return nil, err
 	}
+	if err := stealBench(rep, threadCounts, scale, seed); err != nil {
+		return nil, err
+	}
 	// The feedback-loop comparison rides along in the same artifact: cyclic
 	// vs weighted vs adaptive end-state imbalance on the mispriced mixed
 	// workload, at the caller's scale (the experiment itself is defined at 8
@@ -137,7 +171,88 @@ func Microbench(threadCounts []int, scale float64, seed int64) (*MicrobenchRepor
 		return nil, err
 	}
 	rep.ScheduleComparison = comp
+	// And the stealing counterpart: static weighted vs weighted+steal
+	// end-state time imbalance on the same mispriced workload.
+	stealComp, _, err := stealComparisonRun(context.Background(), FigureConfig{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	rep.StealComparison = stealComp
 	return rep, nil
+}
+
+// stealBench fingerprints the stealing runtime on the honestly priced
+// small-grid dataset: a few full traversal+evaluate passes per thread count
+// under weighted+steal, recording the per-worker steal distribution and the
+// migrated pattern fraction that the CompareReports pathology gate inspects.
+func stealBench(rep *MicrobenchReport, threadCounts []int, scale float64, seed int64) error {
+	ds, err := seqsim.GridDataset(20, 20000, 1000, scale, seed)
+	if err != nil {
+		return err
+	}
+	d, err := alignment.Compress(ds.Alignment, ds.Parts, alignment.CompressOptions{})
+	if err != nil {
+		return err
+	}
+	models := make([]*model.Model, len(d.Parts))
+	for i, p := range d.Parts {
+		if models[i], err = model.DefaultFor(p, 4, 1.0); err != nil {
+			return err
+		}
+	}
+	const passes = 4
+	for _, t := range threadCounts {
+		pool, err := parallel.NewPool(t)
+		if err != nil {
+			return err
+		}
+		sh, err := core.NewShared(d, 4, t)
+		if err != nil {
+			pool.Close()
+			return err
+		}
+		tr, err := tree.Random(ds.Alignment.Names, len(d.Parts), tree.RandomOptions{Seed: seed + 1})
+		if err != nil {
+			pool.Close()
+			return err
+		}
+		ms := make([]*model.Model, len(models))
+		for i, m := range models {
+			ms[i] = m.Clone()
+		}
+		eng, err := core.NewSession(sh, tr, ms, pool.Session(), core.Options{
+			Specialize: true, Schedule: schedule.Weighted, Steal: true,
+		})
+		if err != nil {
+			pool.Close()
+			return err
+		}
+		root := eng.Tree.Tips[0].Back
+		eng.Traverse(root, false, nil) // warm the CLVs and caches
+		eng.Exec.Stats().Reset()
+		for i := 0; i < passes; i++ {
+			eng.InvalidateCLVs()
+			eng.Traverse(root, false, nil)
+			eng.Evaluate(root, nil)
+		}
+		st := eng.Exec.Stats()
+		processed := probeProcessedPatterns(passes, d.NumTaxa(), d.TotalPatterns)
+		sm := StealMicrobench{
+			Threads:           t,
+			Cores:             runtime.NumCPU(),
+			TimeImbalance:     st.TimeImbalance(),
+			StealCount:        st.StealCount,
+			StolenPatterns:    st.StolenPatterns,
+			ProcessedPatterns: processed,
+			WorkerSteals:      append([]float64(nil), st.WorkerSteals...),
+		}
+		if processed > 0 {
+			sm.MigratedFraction = sm.StolenPatterns / processed
+		}
+		rep.Steal = append(rep.Steal, sm)
+		pool.Close()
+	}
+	return nil
 }
 
 // tipCaseBench times one full newview traversal on a tip-heavy dataset (6

@@ -6,6 +6,7 @@ import (
 
 	"phylo/internal/alignment"
 	"phylo/internal/parallel"
+	"phylo/internal/schedule"
 	"phylo/internal/tree"
 )
 
@@ -24,6 +25,10 @@ func (e *Engine) PrepareSumtable(p *tree.Node, active []bool) {
 	q := p.Back
 	act := e.activeOrAll(active)
 	e.refreshSchedule() // region boundary: adopt a rebalanced schedule if published
+	if e.stealRT != nil {
+		e.sumtableSteal(p, q, act)
+		return
+	}
 	e.Exec.Run(parallel.RegionSumTable, func(w int, ctx *parallel.WorkerCtx) {
 		ops := 0.0
 		for ip := range e.Data.Parts {
@@ -53,106 +58,154 @@ func (e *Engine) sumtablePartition(p, q *tree.Node, ip, w int) float64 {
 	if len(runs) == 0 {
 		return 0
 	}
-	part := e.Data.Parts[ip]
-	s := part.Type.States()
-	cats := e.numCats
-	cs := cats * s
-	m := e.Models[ip]
-	base := e.clvBase[ip]
-	sbase := e.sumBase[ip]
-	v := m.EigenVecs
-	vi := m.InvVecs
-	freqs := m.Freqs
-	invCats := 1.0 / float64(cats)
-
-	pTip, qTip := p.IsTip(), q.IsTip()
-	var pv, qv []float64
-	var pRow, qRow []byte
-	if pTip {
-		pRow = part.Tips[p.Index]
-	} else {
-		pv = e.clv(p.Index)
-	}
-	if qTip {
-		qRow = part.Tips[q.Index]
-	} else {
-		qv = e.clv(q.Index)
-	}
-	var lTab, rTab []float64
-	fixed := 0.0
-	if e.Specialize && (pTip || qTip) && runsPatternCount(runs) >= tipTableMinPatterns(part.Type) {
-		codes := alignment.NumCodes(part.Type)
-		if pTip {
-			lTab = buildTipSumLeft(e.tipScratch[w][0], part.Type, freqs, v, s)
-			fixed += opsTipProj(s, codes)
-		}
-		if qTip {
-			rTab = buildTipSumRight(e.tipScratch[w][1], part.Type, vi, s)
-			fixed += opsTipProj(s, codes)
-		}
-	}
+	var c sumSpanCtx
+	e.prepareSumtableSpan(&c, p, q, ip, w)
+	c.ensureTables(runsPatternCount(runs))
 	count := 0
 	for _, run := range runs {
-		for i := run.Lo; i < run.Hi; i += run.Step {
-			j := i - part.Offset
-			off := base + j*cs
-			soff := sbase + j*cs
-			var xl, xr []float64
-			var lRow, rRow []float64
-			if lTab != nil {
-				code := int(pRow[j])
-				lRow = lTab[code*s : (code+1)*s]
-			} else if pTip {
-				xl = alignment.TipVector(part.Type, pRow[j])
-			} else {
-				xl = pv[off : off+cs]
-			}
-			if rTab != nil {
-				code := int(qRow[j])
-				rRow = rTab[code*s : (code+1)*s]
-			} else if qTip {
-				xr = alignment.TipVector(part.Type, qRow[j])
-			} else {
-				xr = qv[off : off+cs]
-			}
-			for c := 0; c < cats; c++ {
-				var cl, cr []float64
-				if lRow == nil {
-					cl = xl
-					if !pTip {
-						cl = xl[c*s : (c+1)*s]
-					}
-				}
-				if rRow == nil {
-					cr = xr
-					if !qTip {
-						cr = xr[c*s : (c+1)*s]
-					}
-				}
-				dst := e.sumtable[soff+c*s : soff+(c+1)*s]
-				for k := 0; k < s; k++ {
-					var lproj, rproj float64
-					if lRow != nil {
-						lproj = lRow[k]
-					} else {
-						for a := 0; a < s; a++ {
-							lproj += freqs[a] * cl[a] * v[a*s+k]
-						}
-					}
-					if rRow != nil {
-						rproj = rRow[k]
-					} else {
-						for a := 0; a < s; a++ {
-							rproj += vi[k*s+a] * cr[a]
-						}
-					}
-					dst[k] = lproj * rproj * invCats
-				}
-			}
-			count++
-		}
+		count += c.process(run)
 	}
-	return float64(count)*opsSumtableCase(s, cats, lTab != nil, rTab != nil) + fixed
+	return c.takeOps(count)
+}
+
+// sumSpanCtx is the per-(branch, partition, worker) sumtable setup — the
+// eigenbasis views of both branch ends and the optional category-independent
+// tip projection tables — shared by the precomputed and chunked execution
+// paths (see nvSpanCtx).
+type sumSpanCtx struct {
+	e          *Engine
+	ip, w      int
+	s, cats    int
+	cs         int
+	base       int
+	sbase      int
+	partOffset int
+	dtype      alignment.DataType
+	invCats    float64
+	pTip, qTip bool
+	pv, qv     []float64
+	pRow, qRow []byte
+	v, vi      []float64
+	freqs      []float64
+	lTab, rTab []float64
+	fixed      float64
+}
+
+// prepareSumtableSpan binds c to (branch, partition, worker).
+func (e *Engine) prepareSumtableSpan(c *sumSpanCtx, p, q *tree.Node, ip, w int) {
+	part := e.Data.Parts[ip]
+	s := part.Type.States()
+	m := e.Models[ip]
+	*c = sumSpanCtx{
+		e: e, ip: ip, w: w, s: s, cats: e.numCats, cs: e.numCats * s,
+		base: e.clvBase[ip], sbase: e.sumBase[ip], partOffset: part.Offset,
+		dtype: part.Type, invCats: 1.0 / float64(e.numCats),
+		pTip: p.IsTip(), qTip: q.IsTip(),
+		v: m.EigenVecs, vi: m.InvVecs, freqs: m.Freqs,
+	}
+	if c.pTip {
+		c.pRow = part.Tips[p.Index]
+	} else {
+		c.pv = e.clv(p.Index)
+	}
+	if c.qTip {
+		c.qRow = part.Tips[q.Index]
+	} else {
+		c.qv = e.clv(q.Index)
+	}
+}
+
+// ensureTables builds the tip projection tables when the pending work unit
+// amortizes them (see nvSpanCtx.ensureTables for the determinism argument).
+func (c *sumSpanCtx) ensureTables(patterns int) {
+	e := c.e
+	if !e.Specialize || !(c.pTip || c.qTip) || patterns < tipTableMinPatterns(c.dtype) {
+		return
+	}
+	codes := alignment.NumCodes(c.dtype)
+	if c.pTip && c.lTab == nil {
+		c.lTab = buildTipSumLeft(e.tipScratch[c.w][0], c.dtype, c.freqs, c.v, c.s)
+		c.fixed += opsTipProj(c.s, codes)
+	}
+	if c.qTip && c.rTab == nil {
+		c.rTab = buildTipSumRight(e.tipScratch[c.w][1], c.dtype, c.vi, c.s)
+		c.fixed += opsTipProj(c.s, codes)
+	}
+}
+
+// takeOps prices count processed patterns and claims the setup charge.
+func (c *sumSpanCtx) takeOps(count int) float64 {
+	ops := float64(count)*opsSumtableCase(c.s, c.cats, c.lTab != nil, c.rTab != nil) + c.fixed
+	c.fixed = 0
+	return ops
+}
+
+// process fills the sumtable for one pattern run and returns the pattern
+// count. Sumtable writes are disjoint per pattern, so runs can execute on
+// any worker in any order.
+func (c *sumSpanCtx) process(run schedule.Run) int {
+	s := c.s
+	cs := c.cs
+	count := 0
+	for i := run.Lo; i < run.Hi; i += run.Step {
+		j := i - c.partOffset
+		off := c.base + j*cs
+		soff := c.sbase + j*cs
+		var xl, xr []float64
+		var lRow, rRow []float64
+		if c.lTab != nil {
+			code := int(c.pRow[j])
+			lRow = c.lTab[code*s : (code+1)*s]
+		} else if c.pTip {
+			xl = alignment.TipVector(c.dtype, c.pRow[j])
+		} else {
+			xl = c.pv[off : off+cs]
+		}
+		if c.rTab != nil {
+			code := int(c.qRow[j])
+			rRow = c.rTab[code*s : (code+1)*s]
+		} else if c.qTip {
+			xr = alignment.TipVector(c.dtype, c.qRow[j])
+		} else {
+			xr = c.qv[off : off+cs]
+		}
+		for cat := 0; cat < c.cats; cat++ {
+			var cl, cr []float64
+			if lRow == nil {
+				cl = xl
+				if !c.pTip {
+					cl = xl[cat*s : (cat+1)*s]
+				}
+			}
+			if rRow == nil {
+				cr = xr
+				if !c.qTip {
+					cr = xr[cat*s : (cat+1)*s]
+				}
+			}
+			dst := c.e.sumtable[soff+cat*s : soff+(cat+1)*s]
+			for k := 0; k < s; k++ {
+				var lproj, rproj float64
+				if lRow != nil {
+					lproj = lRow[k]
+				} else {
+					for a := 0; a < s; a++ {
+						lproj += c.freqs[a] * cl[a] * c.v[a*s+k]
+					}
+				}
+				if rRow != nil {
+					rproj = rRow[k]
+				} else {
+					for a := 0; a < s; a++ {
+						rproj += c.vi[k*s+a] * cr[a]
+					}
+				}
+				dst[k] = lproj * rproj * c.invCats
+			}
+		}
+		count++
+	}
+	return count
 }
 
 // BranchDerivatives evaluates d lnL / dz and d^2 lnL / dz^2 for the branch
@@ -164,6 +217,10 @@ func (e *Engine) sumtablePartition(p, q *tree.Node, ip, w int) float64 {
 func (e *Engine) BranchDerivatives(z []float64, active []bool, d1, d2 []float64) {
 	act := e.activeOrAll(active)
 	e.refreshSchedule() // region boundary: adopt a rebalanced schedule if published
+	if e.stealRT != nil {
+		e.derivativesSteal(z, act, d1, d2)
+		return
+	}
 	e.Exec.Run(parallel.RegionDerivative, func(w int, ctx *parallel.WorkerCtx) {
 		partials := e.derivPartials[w]
 		ex := e.exScratch[w]
@@ -202,56 +259,88 @@ func (e *Engine) derivativePartition(ip int, z float64, w int, partials, ex []fl
 	if len(runs) == 0 {
 		return 0
 	}
+	var c derivSpanCtx
+	e.prepareDerivSpan(&c, ip, z, ex)
+	dd1, dd2 := 0.0, 0.0
+	count := 0
+	for _, run := range runs {
+		r1, r2, n := c.process(run)
+		dd1 += r1
+		dd2 += r2
+		count += n
+	}
+	partials[2*ip] = dd1
+	partials[2*ip+1] = dd2
+	return float64(count) * opsDerivative(c.s, c.cats)
+}
+
+// derivSpanCtx is the per-(partition, branch length, worker) derivative
+// setup: the per-category exponential and derivative-factor tables over the
+// worker's scratch. See nvSpanCtx for how the two execution paths share it.
+type derivSpanCtx struct {
+	e                  *Engine
+	ip                 int
+	s, cats, cs        int
+	sbase              int
+	partOffset         int
+	weights            []float64
+	eTab, g1Tab, g2Tab []float64
+}
+
+// prepareDerivSpan fills the exponential tables E = exp(lambda_k r_c z) and
+// the derivative factors g1 = lambda_k r_c, g2 = g1^2 into ex.
+func (e *Engine) prepareDerivSpan(c *derivSpanCtx, ip int, z float64, ex []float64) {
 	part := e.Data.Parts[ip]
 	s := part.Type.States()
 	cats := e.numCats
 	cs := cats * s
 	m := e.Models[ip]
-	sbase := e.sumBase[ip]
-	// Per-category exponential tables: E = exp(lambda_k r_c z), plus the
-	// first and second derivative factors g1 = lambda_k r_c, g2 = g1^2.
-	eTab := ex[0:cs]
-	g1Tab := ex[cs : 2*cs]
-	g2Tab := ex[2*cs : 3*cs]
-	for c := 0; c < cats; c++ {
-		rc := m.CatRates[c]
+	*c = derivSpanCtx{
+		e: e, ip: ip, s: s, cats: cats, cs: cs,
+		sbase: e.sumBase[ip], partOffset: part.Offset, weights: part.Weights,
+		eTab: ex[0:cs], g1Tab: ex[cs : 2*cs], g2Tab: ex[2*cs : 3*cs],
+	}
+	for cat := 0; cat < cats; cat++ {
+		rc := m.CatRates[cat]
 		for k := 0; k < s; k++ {
 			g := m.EigenVals[k] * rc
-			eTab[c*s+k] = math.Exp(g * z)
-			g1Tab[c*s+k] = g
-			g2Tab[c*s+k] = g * g
+			c.eTab[cat*s+k] = math.Exp(g * z)
+			c.g1Tab[cat*s+k] = g
+			c.g2Tab[cat*s+k] = g * g
 		}
 	}
+}
+
+// process reduces one pattern run to its (d1, d2) partial sums and pattern
+// count; partials are accumulated in ascending pattern order within the run.
+func (c *derivSpanCtx) process(run schedule.Run) (float64, float64, int) {
+	cs := c.cs
 	dd1, dd2 := 0.0, 0.0
 	count := 0
-	for _, run := range runs {
-		for i := run.Lo; i < run.Hi; i += run.Step {
-			j := i - part.Offset
-			soff := sbase + j*cs
-			l, l1, l2 := 0.0, 0.0, 0.0
-			for k := 0; k < cs; k++ {
-				a := e.sumtable[soff+k] * eTab[k]
-				l += a
-				l1 += a * g1Tab[k]
-				l2 += a * g2Tab[k]
-			}
-			// The cs-length dot products above already ran, so the pattern is
-			// charged whether or not the guard below accepts its contribution;
-			// skipped patterns must not undercount the region's performed work.
-			count++
-			if l < 1e-300 {
-				// Scaled likelihood vanished; the pattern cannot inform this
-				// branch numerically. Skip it (RAxML guards identically).
-				continue
-			}
-			inv := 1 / l
-			r1 := l1 * inv
-			wgt := part.Weights[j]
-			dd1 += wgt * r1
-			dd2 += wgt * (l2*inv - r1*r1)
+	for i := run.Lo; i < run.Hi; i += run.Step {
+		j := i - c.partOffset
+		soff := c.sbase + j*cs
+		l, l1, l2 := 0.0, 0.0, 0.0
+		for k := 0; k < cs; k++ {
+			a := c.e.sumtable[soff+k] * c.eTab[k]
+			l += a
+			l1 += a * c.g1Tab[k]
+			l2 += a * c.g2Tab[k]
 		}
+		// The cs-length dot products above already ran, so the pattern is
+		// charged whether or not the guard below accepts its contribution;
+		// skipped patterns must not undercount the region's performed work.
+		count++
+		if l < 1e-300 {
+			// Scaled likelihood vanished; the pattern cannot inform this
+			// branch numerically. Skip it (RAxML guards identically).
+			continue
+		}
+		inv := 1 / l
+		r1 := l1 * inv
+		wgt := c.weights[j]
+		dd1 += wgt * r1
+		dd2 += wgt * (l2*inv - r1*r1)
 	}
-	partials[2*ip] = dd1
-	partials[2*ip+1] = dd2
-	return float64(count) * opsDerivative(s, cats)
+	return dd1, dd2, count
 }

@@ -22,6 +22,7 @@ import (
 	"phylo/internal/model"
 	"phylo/internal/parallel"
 	"phylo/internal/schedule"
+	"phylo/internal/steal"
 	"phylo/internal/tree"
 )
 
@@ -58,6 +59,14 @@ type Engine struct {
 	schedVersion int64
 	allMask      []bool // cached all-true partition mask (activeOrAll)
 
+	// Work-stealing state (nil/zero unless Options.Steal): the chunked-deque
+	// runtime over the pinned schedule, the session's minimum chunk size, and
+	// the per-chunk partial-sum buffers the fixed-order reductions use.
+	stealRT    *steal.Runtime
+	minChunk   int
+	evalChunk  []float64 // per-chunk evaluate partials
+	derivChunk []float64 // per-chunk (d1, d2) derivative partials
+
 	// Measurement attribution for the measured (adaptive) strategy: wall
 	// seconds and processed pattern counts per (worker, partition) since the
 	// last rebalance window reset. Written by worker w only inside regions,
@@ -67,6 +76,11 @@ type Engine struct {
 	partSecs   [][]float64 // [worker][partition] measured seconds
 	partPats   [][]float64 // [worker][partition] processed pattern count
 	rebalances int
+	// smoothed is the decay-weighted running average of observed per-pattern
+	// costs across rebalance windows (see RebalanceNow): one noisy window can
+	// only move a span's cost by the decay fraction, so it cannot thrash the
+	// pack, while a persistent shift still converges geometrically.
+	smoothed schedule.PartitionCosts
 
 	numCats  int
 	maxS     int
@@ -94,6 +108,17 @@ type Options struct {
 	// the contiguous ablation; schedule.Weighted LPT-bin-packs patterns by
 	// per-pattern op cost (see internal/schedule).
 	Schedule schedule.Strategy
+	// Steal switches the session to chunked work-stealing execution: the
+	// schedule's assignment is sliced into per-worker deques of chunks and a
+	// worker that drains its deque steals the largest remaining half from
+	// the costliest victim, bounding intra-region tail latency that no
+	// precomputed assignment can see. Reductions run over per-chunk partials
+	// in fixed chunk order, so likelihoods and derivatives are bit-for-bit
+	// identical with stealing on or off (see internal/core/chunkexec.go).
+	Steal bool
+	// MinChunk is the minimum stealable chunk size in patterns (0 selects
+	// steal.DefaultMinChunk). Only meaningful with Steal.
+	MinChunk int
 }
 
 // New builds a standalone engine: session-independent state is computed on
@@ -172,6 +197,7 @@ func NewSession(sh *Shared, tr *tree.Tree, models []*model.Model, exec parallel.
 		sched:          sched,
 		schedVersion:   version,
 		measure:        opts.Schedule == schedule.Measured,
+		minChunk:       opts.MinChunk,
 		numCats:        sh.NumCats,
 		maxS:           sh.maxS,
 		clvBase:        sh.clvBase,
@@ -181,6 +207,9 @@ func NewSession(sh *Shared, tr *tree.Tree, models []*model.Model, exec parallel.
 	e.allMask = make([]bool, len(data.Parts))
 	for i := range e.allMask {
 		e.allMask[i] = true
+	}
+	if opts.Steal {
+		e.stealRT = steal.NewRuntime(e.stealLayoutFor())
 	}
 	nInner := tr.NumInner()
 	e.clvs = make([][]float64, nInner)
@@ -263,11 +292,23 @@ func (e *Engine) Schedule() *schedule.Schedule { return e.sched }
 // session goroutine, so the pinned schedule is stable for the whole region
 // and workers never observe a swap mid-region. For static strategies the
 // version never changes and this is one atomic load.
+//
+// On a steal-enabled session a schedule swap also rebuilds the chunk layout,
+// and ordering matters: the steal runtime is quiesced (Install panics on an
+// in-flight region) *before* the rebuilt schedule is pinned, so workers can
+// never hold chunk ids from one layout while the engine reduces partials
+// sized for another. Rebalances and regions are both issued from the session
+// goroutine, which makes the quiesce a cheap invariant check rather than a
+// wait — the regression test runs adaptive rebalancing and stealing
+// concurrently under the race detector to keep it that way.
 func (e *Engine) refreshSchedule() {
 	sched, version := e.holder.Current()
 	if version != e.schedVersion {
 		e.sched = sched
 		e.schedVersion = version
+		if e.stealRT != nil {
+			e.stealRT.Install(e.stealLayoutFor())
+		}
 	}
 }
 
@@ -377,6 +418,15 @@ const minRebalanceWindowSeconds = 5e-4
 // measured max/avg worker-time ratio exceeds 1.1x.
 const DefaultRebalanceThreshold = 1.1
 
+// DefaultCostDecay is the EWMA weight a new measurement window carries when
+// observed per-pattern costs are folded into the running average that prices
+// rebuilt schedules: cost' = decay*observed + (1-decay)*prior. At 0.5 a
+// single corrupted window (a descheduled worker, a timer hiccup) can at most
+// halve or double-weight a span, and two consecutive honest windows restore
+// 75% of any error — fast enough to track real drift, damped enough not to
+// thrash the pack.
+const DefaultCostDecay = 0.5
+
 // MaybeRebalance closes the feedback loop for a measured-strategy session:
 // if the current window's measured worker-time imbalance exceeds the
 // hysteresis threshold (and the window is long enough to trust), it derives
@@ -405,20 +455,31 @@ func (e *Engine) MaybeRebalance(threshold float64) (bool, error) {
 }
 
 // RebalanceNow unconditionally rebuilds the measured schedule from the
-// current window's observed costs (keeping prior costs for partitions
-// without samples), publishes it, adopts it, and resets the window. Must be
-// called between regions.
+// observed costs (keeping prior costs for partitions without samples),
+// publishes it, adopts it, and resets the window. The current window is
+// first folded into the session's decay-weighted running cost average
+// (MergeEWMA at DefaultCostDecay), so the pack is priced by the smoothed
+// history rather than by whatever the last window happened to measure — the
+// very first window passes through undamped (there is no prior to smooth
+// toward). Must be called between regions.
 func (e *Engine) RebalanceNow() error {
 	if !e.measure {
 		return errors.New("core: RebalanceNow on a session without the measured schedule strategy")
 	}
-	if _, err := e.shared.RebalanceMeasured(e.ObservedCosts()); err != nil {
+	e.smoothed = e.smoothed.MergeEWMA(e.ObservedCosts(), DefaultCostDecay)
+	if _, err := e.shared.RebalanceMeasured(e.smoothed); err != nil {
 		return err
 	}
 	e.refreshSchedule()
 	e.ResetMeasurements()
 	e.rebalances++
 	return nil
+}
+
+// SmoothedCosts returns the session's decay-weighted per-pattern cost
+// average (nil before the first rebalance).
+func (e *Engine) SmoothedCosts() schedule.PartitionCosts {
+	return append(schedule.PartitionCosts(nil), e.smoothed...)
 }
 
 // Rebalances reports how many times this session rebuilt the measured

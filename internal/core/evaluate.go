@@ -7,6 +7,7 @@ import (
 
 	"phylo/internal/alignment"
 	"phylo/internal/parallel"
+	"phylo/internal/schedule"
 	"phylo/internal/tree"
 )
 
@@ -25,6 +26,9 @@ func (e *Engine) Evaluate(p *tree.Node, active []bool) (float64, []float64) {
 	// as the pi-weighted "left" vector, which may be a tip vector too.
 	act := e.activeOrAll(active)
 	e.refreshSchedule() // region boundary: adopt a rebalanced schedule if published
+	if e.stealRT != nil {
+		return e.evaluateSteal(p, q, act)
+	}
 	e.Exec.Run(parallel.RegionEvaluate, func(w int, ctx *parallel.WorkerCtx) {
 		partials := e.evalPartials[w]
 		pm := e.pmScratch[w][0]
@@ -114,80 +118,134 @@ func (e *Engine) evaluatePartition(p, q *tree.Node, ip, w int, pm []float64, ops
 	if len(runs) == 0 {
 		return 0, ops
 	}
-	part := e.Data.Parts[ip]
-	s := part.Type.States()
-	cats := e.numCats
-	cs := cats * s
-	ss := s * s
-	m := e.Models[ip]
-	slot := e.slotOf(ip)
-	m.PMatrices(p.Z[slot], pm[:cats*ss])
-	base := e.clvBase[ip]
-	invCats := 1.0 / float64(cats)
-
-	pTip, qTip := p.IsTip(), q.IsTip()
-	var pv, qv []float64
-	var psc, qsc []int32
-	var pRow, qRow []byte
-	if pTip {
-		pRow = part.Tips[p.Index]
-	} else {
-		pv = e.clv(p.Index)
-		psc = e.scale(p.Index)
-	}
-	if qTip {
-		qRow = part.Tips[q.Index]
-	} else {
-		qv = e.clv(q.Index)
-		qsc = e.scale(q.Index)
-	}
-	freqs := m.Freqs
-	fixed := float64(cats * s * s * s) // per-worker P-matrix setup
-	var qTab []float64
-	if e.Specialize && qTip && runsPatternCount(runs) >= tipTableMinPatterns(part.Type) {
-		qTab = buildTipTable(e.tipScratch[w][0], part.Type, pm[:cats*ss], s, cats)
-		fixed += opsTipTable(s, cats, alignment.NumCodes(part.Type))
-	}
+	var c evalSpanCtx
+	e.prepareEvalSpan(&c, p, q, ip, w, pm)
+	c.ensureTable(runsPatternCount(runs))
 	sum := 0.0
 	count := 0
 	for _, run := range runs {
-		for i := run.Lo; i < run.Hi; i += run.Step {
-			j := i - part.Offset
-			off := base + j*cs
-			var xl, xr []float64
-			var qCode byte
-			if pTip {
-				xl = alignment.TipVector(part.Type, pRow[j])
-			} else {
-				xl = pv[off : off+cs]
-			}
-			switch {
-			case qTab != nil:
-				qCode = qRow[j]
-			case qTip:
-				xr = alignment.TipVector(part.Type, qRow[j])
-			default:
-				xr = qv[off : off+cs]
-			}
-			li := evalPattern(pm, freqs, s, cats, xl, pTip, xr, qTip, qTab, qCode) * invCats
-			sc := int32(0)
-			if !pTip {
-				sc += psc[i]
-			}
-			if !qTip {
-				sc += qsc[i]
-			}
-			if li <= 0 || math.IsNaN(li) {
-				// Fully incompatible data cannot occur with strictly positive P
-				// matrices; guard against pathological rounding anyway.
-				li = math.SmallestNonzeroFloat64
-			}
-			sum += part.Weights[j] * (math.Log(li) + float64(sc)*logMinLik)
-			count++
-		}
+		s, n := c.process(run)
+		sum += s
+		count += n
 	}
-	ops += float64(count)*opsEvaluateCase(s, cats, qTab != nil) + fixed
-	return sum, ops
+	return sum, ops + c.takeOps(count)
+}
+
+// evalSpanCtx is the per-(partition, worker) evaluate setup, shared by the
+// precomputed-assignment reduction (one contiguous share per worker, summed
+// per worker) and the chunked work-stealing reduction (one partial sum per
+// chunk, reduced master-side in fixed chunk order). See nvSpanCtx.
+type evalSpanCtx struct {
+	e          *Engine
+	ip, w      int
+	s, cats    int
+	cs         int
+	base       int
+	partOffset int
+	dtype      alignment.DataType
+	weights    []float64
+	invCats    float64
+	pTip, qTip bool
+	pv, qv     []float64
+	psc, qsc   []int32
+	pRow, qRow []byte
+	pm         []float64
+	freqs      []float64
+	qTab       []float64
+	fixed      float64
+}
+
+// prepareEvalSpan binds c to (root branch, partition, worker): the p-side
+// transition matrices into the worker's scratch and the CLV/tip views of
+// both branch ends.
+func (e *Engine) prepareEvalSpan(c *evalSpanCtx, p, q *tree.Node, ip, w int, pm []float64) {
+	part := e.Data.Parts[ip]
+	s := part.Type.States()
+	cats := e.numCats
+	m := e.Models[ip]
+	m.PMatrices(p.Z[e.slotOf(ip)], pm[:cats*s*s])
+	*c = evalSpanCtx{
+		e: e, ip: ip, w: w, s: s, cats: cats, cs: cats * s,
+		base: e.clvBase[ip], partOffset: part.Offset, dtype: part.Type,
+		weights: part.Weights, invCats: 1.0 / float64(cats),
+		pTip: p.IsTip(), qTip: q.IsTip(),
+		pm: pm, freqs: m.Freqs,
+		fixed: float64(cats * s * s * s), // per-worker P-matrix setup
+	}
+	if c.pTip {
+		c.pRow = part.Tips[p.Index]
+	} else {
+		c.pv = e.clv(p.Index)
+		c.psc = e.scale(p.Index)
+	}
+	if c.qTip {
+		c.qRow = part.Tips[q.Index]
+	} else {
+		c.qv = e.clv(q.Index)
+		c.qsc = e.scale(q.Index)
+	}
+}
+
+// ensureTable builds the q-side tip lookup table when the pending work unit
+// amortizes it (see nvSpanCtx.ensureTables for the determinism argument).
+func (c *evalSpanCtx) ensureTable(patterns int) {
+	e := c.e
+	if !e.Specialize || !c.qTip || c.qTab != nil || patterns < tipTableMinPatterns(c.dtype) {
+		return
+	}
+	c.qTab = buildTipTable(e.tipScratch[c.w][0], c.dtype, c.pm[:c.cats*c.s*c.s], c.s, c.cats)
+	c.fixed += opsTipTable(c.s, c.cats, alignment.NumCodes(c.dtype))
+}
+
+// takeOps prices count processed patterns and claims the setup charge.
+func (c *evalSpanCtx) takeOps(count int) float64 {
+	ops := float64(count)*opsEvaluateCase(c.s, c.cats, c.qTab != nil) + c.fixed
+	c.fixed = 0
+	return ops
+}
+
+// process reduces one pattern run to its weighted log-likelihood partial sum
+// and pattern count. Patterns are accumulated in ascending order within the
+// run, so a run's partial is invariant to which worker processes it.
+func (c *evalSpanCtx) process(run schedule.Run) (float64, int) {
+	cs := c.cs
+	sum := 0.0
+	count := 0
+	for i := run.Lo; i < run.Hi; i += run.Step {
+		j := i - c.partOffset
+		off := c.base + j*cs
+		var xl, xr []float64
+		var qCode byte
+		if c.pTip {
+			xl = alignment.TipVector(c.dtype, c.pRow[j])
+		} else {
+			xl = c.pv[off : off+cs]
+		}
+		switch {
+		case c.qTab != nil:
+			qCode = c.qRow[j]
+		case c.qTip:
+			xr = alignment.TipVector(c.dtype, c.qRow[j])
+		default:
+			xr = c.qv[off : off+cs]
+		}
+		li := evalPattern(c.pm, c.freqs, c.s, c.cats, xl, c.pTip, xr, c.qTip, c.qTab, qCode) * c.invCats
+		sc := int32(0)
+		if !c.pTip {
+			sc += c.psc[i]
+		}
+		if !c.qTip {
+			sc += c.qsc[i]
+		}
+		if li <= 0 || math.IsNaN(li) {
+			// Fully incompatible data cannot occur with strictly positive P
+			// matrices; guard against pathological rounding anyway.
+			li = math.SmallestNonzeroFloat64
+		}
+		sum += c.weights[j] * (math.Log(li) + float64(sc)*logMinLik)
+		count++
+	}
+	return sum, count
 }
 
 // SiteLogLikelihoods returns the per-pattern log likelihoods (unweighted) of

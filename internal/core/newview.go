@@ -5,6 +5,7 @@ import (
 
 	"phylo/internal/alignment"
 	"phylo/internal/parallel"
+	"phylo/internal/schedule"
 	"phylo/internal/tree"
 )
 
@@ -43,6 +44,10 @@ func (e *Engine) ExecuteSteps(steps []tree.TraversalStep, active []bool) {
 	}
 	act := e.activeOrAll(active)
 	e.refreshSchedule() // region boundary: adopt a rebalanced schedule if published
+	if e.stealRT != nil {
+		e.executeStepsSteal(steps, act)
+		return
+	}
 	e.Exec.Run(parallel.RegionNewview, func(w int, ctx *parallel.WorkerCtx) {
 		pmQ := e.pmScratch[w][0]
 		pmR := e.pmScratch[w][1]
@@ -79,122 +84,181 @@ func (e *Engine) newviewPartition(st tree.TraversalStep, ip, w int, pmQ, pmR []f
 	if len(runs) == 0 {
 		return 0
 	}
+	var c nvSpanCtx
+	e.prepareNewviewSpan(&c, st, ip, w, pmQ, pmR)
+	c.ensureTables(runsPatternCount(runs))
+	count := 0
+	for _, run := range runs {
+		count += c.process(run)
+	}
+	return c.takeOps(count)
+}
+
+// nvSpanCtx is the per-(step, partition, worker) newview setup — transition
+// matrices, child CLV/tip bindings, and the optional tip lookup tables —
+// factored out of the pattern loop so that both execution models share one
+// kernel body: the precomputed-assignment path prepares once per worker and
+// span and processes the worker's whole share, while the work-stealing path
+// prepares once per (worker, span) encounter and processes one chunk at a
+// time (re-using the setup across consecutive chunks of the same span).
+type nvSpanCtx struct {
+	e          *Engine
+	ip, w      int
+	s, cats    int
+	cs         int
+	base       int
+	partOffset int
+	dtype      alignment.DataType
+	dst        []float64
+	dstScale   []int32
+	qTip, rTip bool
+	qv, rv     []float64
+	qs, rs     []int32
+	qRow, rRow []byte
+	pmQ, pmR   []float64
+	tabQ, tabR []float64
+	fast4      bool
+	fixed      float64 // setup ops not yet claimed by takeOps
+}
+
+// prepareNewviewSpan binds c to (step, partition, worker): it computes both
+// child transition-matrix blocks into the worker's scratch and resolves the
+// child CLV/tip-row/scaling views. The fixed op charge for the redundant
+// per-worker P-matrix setup accumulates in c.fixed.
+func (e *Engine) prepareNewviewSpan(c *nvSpanCtx, st tree.TraversalStep, ip, w int, pmQ, pmR []float64) {
 	part := e.Data.Parts[ip]
 	s := part.Type.States()
 	cats := e.numCats
-	cs := cats * s
 	m := e.Models[ip]
 	slot := e.slotOf(ip)
 	m.PMatrices(st.Q.Z[slot], pmQ[:cats*s*s])
 	m.PMatrices(st.R.Z[slot], pmR[:cats*s*s])
-
-	base := e.clvBase[ip]
-	dst := e.clv(st.P.Index)
-	dstScale := e.scale(st.P.Index)
-
-	qTip, rTip := st.Q.IsTip(), st.R.IsTip()
-	var qv, rv []float64
-	var qs, rs []int32
-	var qRow, rRow []byte
-	if qTip {
-		qRow = part.Tips[st.Q.Index]
+	*c = nvSpanCtx{
+		e: e, ip: ip, w: w, s: s, cats: cats, cs: cats * s,
+		base: e.clvBase[ip], partOffset: part.Offset, dtype: part.Type,
+		dst: e.clv(st.P.Index), dstScale: e.scale(st.P.Index),
+		qTip: st.Q.IsTip(), rTip: st.R.IsTip(),
+		pmQ: pmQ, pmR: pmR,
+		fast4: e.Specialize && s == 4,
+		fixed: float64(2 * cats * s * s * s), // redundant per-worker P-matrix setup
+	}
+	if c.qTip {
+		c.qRow = part.Tips[st.Q.Index]
 	} else {
-		qv = e.clv(st.Q.Index)
-		qs = e.scale(st.Q.Index)
+		c.qv = e.clv(st.Q.Index)
+		c.qs = e.scale(st.Q.Index)
 	}
-	if rTip {
-		rRow = part.Tips[st.R.Index]
+	if c.rTip {
+		c.rRow = part.Tips[st.R.Index]
 	} else {
-		rv = e.clv(st.R.Index)
-		rs = e.scale(st.R.Index)
+		c.rv = e.clv(st.R.Index)
+		c.rs = e.scale(st.R.Index)
 	}
+}
 
-	var tabQ, tabR []float64
-	fixed := float64(2 * cats * s * s * s) // redundant per-worker P-matrix setup
-	if e.Specialize && (qTip || rTip) && runsPatternCount(runs) >= tipTableMinPatterns(part.Type) {
-		codes := alignment.NumCodes(part.Type)
-		if qTip {
-			tabQ = buildTipTable(e.tipScratch[w][0], part.Type, pmQ, s, cats)
-			fixed += opsTipTable(s, cats, codes)
-		}
-		if rTip {
-			tabR = buildTipTable(e.tipScratch[w][1], part.Type, pmR, s, cats)
-			fixed += opsTipTable(s, cats, codes)
-		}
+// ensureTables builds the tip lookup tables when the pending work unit
+// (patterns) amortizes them and they are not already built. The decision is a
+// pure function of the unit size, so chunked execution stays deterministic;
+// and because table and generic paths are bit-identical, mixing them across
+// chunks of one span can never change results, only the op accounting.
+func (c *nvSpanCtx) ensureTables(patterns int) {
+	e := c.e
+	if !e.Specialize || !(c.qTip || c.rTip) || patterns < tipTableMinPatterns(c.dtype) {
+		return
 	}
+	codes := alignment.NumCodes(c.dtype)
+	if c.qTip && c.tabQ == nil {
+		c.tabQ = buildTipTable(e.tipScratch[c.w][0], c.dtype, c.pmQ, c.s, c.cats)
+		c.fixed += opsTipTable(c.s, c.cats, codes)
+	}
+	if c.rTip && c.tabR == nil {
+		c.tabR = buildTipTable(e.tipScratch[c.w][1], c.dtype, c.pmR, c.s, c.cats)
+		c.fixed += opsTipTable(c.s, c.cats, codes)
+	}
+}
 
+// takeOps prices count processed patterns by the kernel case that ran and
+// claims any outstanding setup charge.
+func (c *nvSpanCtx) takeOps(count int) float64 {
+	ops := float64(count)*opsNewviewCase(c.s, c.cats, c.tabQ != nil, c.tabR != nil) + c.fixed
+	c.fixed = 0
+	return ops
+}
+
+// process executes the newview kernel over one pattern run and returns the
+// pattern count. The per-pattern body is identical whichever worker runs it
+// and however the run was sliced, which is what makes chunked (stolen) and
+// precomputed execution bit-identical.
+func (c *nvSpanCtx) process(run schedule.Run) int {
+	cs := c.cs
+	cats := c.cats
 	count := 0
-	fast4 := e.Specialize && s == 4
-	for _, run := range runs {
-		for i := run.Lo; i < run.Hi; i += run.Step {
-			j := i - part.Offset
-			off := base + j*cs
-			d := dst[off : off+cs]
-			switch {
-			case tabQ != nil && tabR != nil:
-				newviewPatternTipTip(d, tabQ[int(qRow[j])*cs:int(qRow[j])*cs+cs], tabR[int(rRow[j])*cs:int(rRow[j])*cs+cs])
-			case tabQ != nil:
-				tq := tabQ[int(qRow[j])*cs : int(qRow[j])*cs+cs]
-				if fast4 {
-					newviewPatternTipInner4(d, tq, rv[off:off+cs], pmR, cats)
-				} else {
-					newviewPatternTipInner(d, tq, rv[off:off+cs], pmR, cats, s)
-				}
-			case tabR != nil:
-				tr := tabR[int(rRow[j])*cs : int(rRow[j])*cs+cs]
-				if fast4 {
-					newviewPatternTipInner4(d, tr, qv[off:off+cs], pmQ, cats)
-				} else {
-					newviewPatternTipInner(d, tr, qv[off:off+cs], pmQ, cats, s)
-				}
-			default:
-				var xq, xr []float64
-				if qTip {
-					xq = alignment.TipVector(part.Type, qRow[j])
-				} else {
-					xq = qv[off : off+cs]
-				}
-				if rTip {
-					xr = alignment.TipVector(part.Type, rRow[j])
-				} else {
-					xr = rv[off : off+cs]
-				}
-				if fast4 {
-					newviewPattern4(d, xq, xr, qTip, rTip, pmQ, pmR, cats)
-				} else {
-					newviewPatternGeneric(d, xq, xr, qTip, rTip, pmQ, pmR, cats, s)
-				}
+	for i := run.Lo; i < run.Hi; i += run.Step {
+		j := i - c.partOffset
+		off := c.base + j*cs
+		d := c.dst[off : off+cs]
+		switch {
+		case c.tabQ != nil && c.tabR != nil:
+			newviewPatternTipTip(d, c.tabQ[int(c.qRow[j])*cs:int(c.qRow[j])*cs+cs], c.tabR[int(c.rRow[j])*cs:int(c.rRow[j])*cs+cs])
+		case c.tabQ != nil:
+			tq := c.tabQ[int(c.qRow[j])*cs : int(c.qRow[j])*cs+cs]
+			if c.fast4 {
+				newviewPatternTipInner4(d, tq, c.rv[off:off+cs], c.pmR, cats)
+			} else {
+				newviewPatternTipInner(d, tq, c.rv[off:off+cs], c.pmR, cats, c.s)
 			}
-			// Numerical scaling: when every entry of the pattern's CLV drops
-			// below the threshold, multiply the whole pattern by 2^256 and
-			// remember the exponent.
-			sc := int32(0)
-			if !qTip {
-				sc += qs[i]
+		case c.tabR != nil:
+			tr := c.tabR[int(c.rRow[j])*cs : int(c.rRow[j])*cs+cs]
+			if c.fast4 {
+				newviewPatternTipInner4(d, tr, c.qv[off:off+cs], c.pmQ, cats)
+			} else {
+				newviewPatternTipInner(d, tr, c.qv[off:off+cs], c.pmQ, cats, c.s)
 			}
-			if !rTip {
-				sc += rs[i]
+		default:
+			var xq, xr []float64
+			if c.qTip {
+				xq = alignment.TipVector(c.dtype, c.qRow[j])
+			} else {
+				xq = c.qv[off : off+cs]
 			}
-			needScale := true
-			for k := 0; k < cs; k++ {
-				if d[k] >= minLikelihood || d[k] <= -minLikelihood {
-					needScale = false
-					break
-				}
+			if c.rTip {
+				xr = alignment.TipVector(c.dtype, c.rRow[j])
+			} else {
+				xr = c.rv[off : off+cs]
 			}
-			if needScale {
-				for k := 0; k < cs; k++ {
-					d[k] *= twoTo256
-				}
-				sc++
+			if c.fast4 {
+				newviewPattern4(d, xq, xr, c.qTip, c.rTip, c.pmQ, c.pmR, cats)
+			} else {
+				newviewPatternGeneric(d, xq, xr, c.qTip, c.rTip, c.pmQ, c.pmR, cats, c.s)
 			}
-			dstScale[i] = sc
-			count++
 		}
+		// Numerical scaling: when every entry of the pattern's CLV drops
+		// below the threshold, multiply the whole pattern by 2^256 and
+		// remember the exponent.
+		sc := int32(0)
+		if !c.qTip {
+			sc += c.qs[i]
+		}
+		if !c.rTip {
+			sc += c.rs[i]
+		}
+		needScale := true
+		for k := 0; k < cs; k++ {
+			if d[k] >= minLikelihood || d[k] <= -minLikelihood {
+				needScale = false
+				break
+			}
+		}
+		if needScale {
+			for k := 0; k < cs; k++ {
+				d[k] *= twoTo256
+			}
+			sc++
+		}
+		c.dstScale[i] = sc
+		count++
 	}
-	// Per-pattern work (priced by the case that actually ran) plus the
-	// per-worker setup.
-	return float64(count)*opsNewviewCase(s, cats, tabQ != nil, tabR != nil) + fixed
+	return count
 }
 
 // newviewPatternGeneric computes one pattern's CLV for an arbitrary state

@@ -63,7 +63,28 @@ func (r Region) String() string {
 // for reporting. Seconds is written by the executor harness itself — the
 // measured wall-clock time this worker spent inside the current region's
 // closure (monotonic; see Pool.run) — and is collected master-side after the
-// barrier alongside Ops.
+// barrier alongside Ops. Steals/StolenPatterns are incremented by the
+// work-stealing runtime (internal/steal): Steals when this worker takes
+// chunks from a victim's deque, StolenPatterns when it *executes* a pattern
+// whose scheduled owner is another worker (counted once per execution, so
+// chunks re-stolen along a thief chain are not double-counted). Like Ops
+// they are reset per region and folded into the statistics master-side.
+//
+// Idle is wall time the worker spent blocked on intra-region synchronization
+// (the steal runtime's step barriers) rather than working; executors subtract
+// it from the measured Seconds before recording, so per-worker times — and
+// everything derived from them: TimeImbalance, measured rebalancing — keep
+// measuring work even in regions that synchronize internally. Without the
+// correction every worker's Seconds in a multi-step stealing region would
+// converge on the region's wall time, hiding exactly the skew the metric
+// exists to expose.
+//
+// Concurrent tells region closures whether the executor runs its workers on
+// real concurrent goroutines (the pool) or serially on one goroutine (Sim,
+// Sequential, and a pool session degraded by a closed pool). The
+// work-stealing runtime keys on it: serial virtual workers must neither steal
+// (worker 0 would swallow everything before worker 1 ever "starts") nor wait
+// at intra-region step barriers (which would deadlock a single goroutine).
 //
 // The struct is padded to 128 bytes: adjacent entries of a []WorkerCtx are
 // written concurrently by different workers, and because Go only guarantees
@@ -72,10 +93,24 @@ func (r Region) String() string {
 // anyway), so two cache lines per entry is the safe spacing. A compile-time
 // and unit-time check pin the size.
 type WorkerCtx struct {
-	Worker  int
-	Ops     float64
-	Seconds float64
-	_       [104]byte // pad to two cache lines (see type comment)
+	Worker         int
+	Ops            float64
+	Seconds        float64
+	Steals         float64  // steal operations performed by this worker this region
+	StolenPatterns float64  // patterns executed for another worker's assignment
+	Idle           float64  // in-region synchronization wait, excluded from Seconds
+	Concurrent     bool     // workers run on real goroutines (see type comment)
+	_              [79]byte // pad to two cache lines (see type comment)
+}
+
+// workSeconds returns the worker's measured in-region seconds net of
+// internal synchronization waits, clamped at zero against clock skew.
+func (c *WorkerCtx) workSeconds() float64 {
+	s := c.Seconds - c.Idle
+	if s < 0 {
+		return 0
+	}
+	return s
 }
 
 // Executor runs parallel regions over a fixed set of workers.
@@ -93,10 +128,12 @@ type Executor interface {
 
 // Sequential is the single-worker executor.
 type Sequential struct {
-	ctx   WorkerCtx
-	stats Stats
-	ops   [1]float64
-	times [1]float64
+	ctx    WorkerCtx
+	stats  Stats
+	ops    [1]float64
+	times  [1]float64
+	steals [1]float64
+	stolen [1]float64
 }
 
 // NewSequential returns a sequential executor.
@@ -108,11 +145,18 @@ func (s *Sequential) Threads() int { return 1 }
 // Run executes fn for the single worker, timing it like the pool does.
 func (s *Sequential) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
 	s.ctx.Ops = 0
+	s.ctx.Steals = 0
+	s.ctx.StolenPatterns = 0
+	s.ctx.Idle = 0
+	s.ctx.Concurrent = false
 	start := time.Now()
 	fn(0, &s.ctx)
+	s.ctx.Seconds = time.Since(start).Seconds()
 	s.ops[0] = s.ctx.Ops
-	s.times[0] = time.Since(start).Seconds()
-	s.stats.record(kind, s.ops[:], s.times[:])
+	s.times[0] = s.ctx.workSeconds()
+	s.steals[0] = s.ctx.Steals
+	s.stolen[0] = s.ctx.StolenPatterns
+	s.stats.record(kind, s.ops[:], s.times[:], s.steals[:], s.stolen[:])
 }
 
 // Stats returns the accumulated statistics.

@@ -159,11 +159,11 @@ func TestPoolSessionDegradesAfterPoolClose(t *testing.T) {
 func TestStatsImbalance(t *testing.T) {
 	var st Stats
 	// Two regions with 4 workers: one perfectly balanced, one all-on-one.
-	st.record(RegionNewview, []float64{25, 25, 25, 25}, nil)
+	st.record(RegionNewview, []float64{25, 25, 25, 25}, nil, nil, nil)
 	if got := st.Imbalance(4); math.Abs(got-1) > 1e-12 {
 		t.Errorf("balanced imbalance = %v, want 1", got)
 	}
-	st.record(RegionNewview, []float64{100, 0, 0, 0}, []float64{1e-3, 0, 0, 0})
+	st.record(RegionNewview, []float64{100, 0, 0, 0}, []float64{1e-3, 0, 0, 0}, nil, nil)
 	// critical = 125, ideal = 200/4 = 50 -> 2.5
 	if got := st.Imbalance(4); math.Abs(got-2.5) > 1e-12 {
 		t.Errorf("imbalance = %v, want 2.5", got)
@@ -284,8 +284,8 @@ func TestPlatformModel(t *testing.T) {
 func TestPlatformEvalSeconds(t *testing.T) {
 	var st Stats
 	even := []float64{1e9, 1e9, 1e9, 1e9, 1e9, 1e9, 1e9, 1e9}
-	st.record(RegionNewview, even, nil) // 1e9 critical ops
-	st.record(RegionEvaluate, even, nil)
+	st.record(RegionNewview, even, nil, nil, nil) // 1e9 critical ops
+	st.record(RegionEvaluate, even, nil, nil, nil)
 	p := Nehalem
 	seq := p.EvalSeconds(&st, 1)
 	want := p.SeqOpNS * 2e9 * 1e-9

@@ -24,6 +24,8 @@ type Pool struct {
 	ctxs    []WorkerCtx
 	ops     []float64 // master-side per-region op scratch
 	times   []float64 // master-side per-region wall-time scratch (seconds)
+	steals  []float64 // master-side per-region steal-count scratch
+	stolen  []float64 // master-side per-region stolen-pattern scratch
 
 	runMu  sync.Mutex // serializes regions across sessions
 	stats  Stats      // aggregate across all sessions (guarded by runMu)
@@ -41,6 +43,8 @@ func NewPool(threads int) (*Pool, error) {
 		ctxs:    make([]WorkerCtx, threads),
 		ops:     make([]float64, threads),
 		times:   make([]float64, threads),
+		steals:  make([]float64, threads),
+		stolen:  make([]float64, threads),
 	}
 	for w := 0; w < threads; w++ {
 		p.ctxs[w].Worker = w
@@ -82,6 +86,10 @@ func (p *Pool) run(kind Region, fn func(w int, ctx *WorkerCtx), extra *Stats) {
 		w := w
 		ctx := &p.ctxs[w]
 		ctx.Ops = 0
+		ctx.Steals = 0
+		ctx.StolenPatterns = 0
+		ctx.Idle = 0
+		ctx.Concurrent = true
 		p.cmds[w] <- func() {
 			start := time.Now()
 			fn(w, ctx)
@@ -93,9 +101,14 @@ func (p *Pool) run(kind Region, fn func(w int, ctx *WorkerCtx), extra *Stats) {
 	// A worker whose assignment was empty for this region left Ops at the
 	// zero it was reset to above; it enters the statistics as exactly zero
 	// rather than being skipped, so idle workers show up in the imbalance.
+	// Seconds are taken net of in-region synchronization waits (Idle), so
+	// multi-step stealing regions report work time, not synchronized wall
+	// time.
 	for w := 0; w < p.threads; w++ {
 		p.ops[w] = p.ctxs[w].Ops
-		p.times[w] = p.ctxs[w].Seconds
+		p.times[w] = p.ctxs[w].workSeconds()
+		p.steals[w] = p.ctxs[w].Steals
+		p.stolen[w] = p.ctxs[w].StolenPatterns
 	}
 	p.record(kind, extra)
 }
@@ -108,11 +121,17 @@ func (p *Pool) runDegraded(kind Region, fn func(w int, ctx *WorkerCtx), extra *S
 	for w := 0; w < p.threads; w++ {
 		ctx := &p.ctxs[w]
 		ctx.Ops = 0
+		ctx.Steals = 0
+		ctx.StolenPatterns = 0
+		ctx.Idle = 0
+		ctx.Concurrent = false
 		start := time.Now()
 		fn(w, ctx)
 		ctx.Seconds = time.Since(start).Seconds()
 		p.ops[w] = ctx.Ops
-		p.times[w] = ctx.Seconds
+		p.times[w] = ctx.workSeconds()
+		p.steals[w] = ctx.Steals
+		p.stolen[w] = ctx.StolenPatterns
 	}
 	p.record(kind, extra)
 }
@@ -120,9 +139,9 @@ func (p *Pool) runDegraded(kind Region, fn func(w int, ctx *WorkerCtx), extra *S
 // record folds the per-worker op and time scratch into the aggregate (and
 // optional session) statistics. The caller must hold runMu.
 func (p *Pool) record(kind Region, extra *Stats) {
-	p.stats.record(kind, p.ops, p.times)
+	p.stats.record(kind, p.ops, p.times, p.steals, p.stolen)
 	if extra != nil {
-		extra.record(kind, p.ops, p.times)
+		extra.record(kind, p.ops, p.times, p.steals, p.stolen)
 	}
 }
 

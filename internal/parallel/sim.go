@@ -16,6 +16,8 @@ type Sim struct {
 	ctx     WorkerCtx
 	ops     []float64 // per-region op scratch
 	times   []float64 // per-region wall-time scratch (seconds)
+	steals  []float64 // per-region steal-count scratch
+	stolen  []float64 // per-region stolen-pattern scratch
 	stats   Stats
 }
 
@@ -24,7 +26,13 @@ func NewSim(threads int) (*Sim, error) {
 	if threads < 1 {
 		return nil, errBadThreads(threads)
 	}
-	return &Sim{threads: threads, ops: make([]float64, threads), times: make([]float64, threads)}, nil
+	return &Sim{
+		threads: threads,
+		ops:     make([]float64, threads),
+		times:   make([]float64, threads),
+		steals:  make([]float64, threads),
+		stolen:  make([]float64, threads),
+	}, nil
 }
 
 func errBadThreads(t int) error {
@@ -52,12 +60,19 @@ func (s *Sim) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
 	for w := 0; w < s.threads; w++ {
 		s.ctx.Worker = w
 		s.ctx.Ops = 0
+		s.ctx.Steals = 0
+		s.ctx.StolenPatterns = 0
+		s.ctx.Idle = 0
+		s.ctx.Concurrent = false
 		start := time.Now()
 		fn(w, &s.ctx)
-		s.times[w] = time.Since(start).Seconds()
+		s.ctx.Seconds = time.Since(start).Seconds()
+		s.times[w] = s.ctx.workSeconds()
 		s.ops[w] = s.ctx.Ops
+		s.steals[w] = s.ctx.Steals
+		s.stolen[w] = s.ctx.StolenPatterns
 	}
-	s.stats.record(kind, s.ops, s.times)
+	s.stats.record(kind, s.ops, s.times, s.steals, s.stolen)
 }
 
 // Stats returns accumulated instrumentation.

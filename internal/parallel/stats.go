@@ -34,12 +34,27 @@ type Stats struct {
 	CriticalTime float64   // sum over regions of max per-worker seconds
 	WorkerTime   []float64 // cumulative measured seconds per worker id
 	KindTime     [numRegionKinds]float64
+
+	// Work-stealing accounting (zero unless the session runs with the
+	// chunked-deque runtime, internal/steal): how many steal operations each
+	// worker performed and how many patterns it executed away from their
+	// scheduled owner (counted once per execution, so chunks relayed through
+	// thief chains are not double-counted and StolenPatterns/processed stays
+	// a true fraction). High StolenPatterns relative to the patterns
+	// processed means the static assignment is systematically mispriced
+	// (every region redistributes the same work), not merely noisy — the
+	// signal the bench gate flags.
+	StealCount     float64   // total steal operations across all regions
+	StolenPatterns float64   // total patterns that migrated via steals
+	WorkerSteals   []float64 // cumulative steal operations per worker id
+	WorkerStolen   []float64 // cumulative stolen patterns per worker id
 }
 
 // record folds one region's per-worker op and wall-time vectors into the
-// counters. times may be nil (no measurement available); it is otherwise
-// parallel to ops.
-func (s *Stats) record(kind Region, ops, times []float64) {
+// counters. times may be nil (no measurement available); steals and stolen
+// (per-worker steal operations and stolen pattern counts) may likewise be
+// nil; all non-nil vectors are parallel to ops.
+func (s *Stats) record(kind Region, ops, times, steals, stolen []float64) {
 	if kind < 0 || kind >= numRegionKinds {
 		kind = RegionOther
 	}
@@ -61,25 +76,46 @@ func (s *Stats) record(kind Region, ops, times []float64) {
 	s.CriticalOps += maxOps
 	s.KindRegions[kind]++
 	s.KindCritical[kind] += maxOps
-	if times == nil {
-		return
+	if times != nil {
+		if len(s.WorkerTime) < len(times) {
+			grown := make([]float64, len(times))
+			copy(grown, s.WorkerTime)
+			s.WorkerTime = grown
+		}
+		maxT, sumT := 0.0, 0.0
+		for w, t := range times {
+			s.WorkerTime[w] += t
+			sumT += t
+			if t > maxT {
+				maxT = t
+			}
+		}
+		s.TotalTime += sumT
+		s.CriticalTime += maxT
+		s.KindTime[kind] += maxT
 	}
-	if len(s.WorkerTime) < len(times) {
-		grown := make([]float64, len(times))
-		copy(grown, s.WorkerTime)
-		s.WorkerTime = grown
-	}
-	maxT, sumT := 0.0, 0.0
-	for w, t := range times {
-		s.WorkerTime[w] += t
-		sumT += t
-		if t > maxT {
-			maxT = t
+	if steals != nil {
+		if len(s.WorkerSteals) < len(steals) {
+			grown := make([]float64, len(steals))
+			copy(grown, s.WorkerSteals)
+			s.WorkerSteals = grown
+		}
+		for w, n := range steals {
+			s.WorkerSteals[w] += n
+			s.StealCount += n
 		}
 	}
-	s.TotalTime += sumT
-	s.CriticalTime += maxT
-	s.KindTime[kind] += maxT
+	if stolen != nil {
+		if len(s.WorkerStolen) < len(stolen) {
+			grown := make([]float64, len(stolen))
+			copy(grown, s.WorkerStolen)
+			s.WorkerStolen = grown
+		}
+		for w, n := range stolen {
+			s.WorkerStolen[w] += n
+			s.StolenPatterns += n
+		}
+	}
 }
 
 // Reset zeroes all counters.
@@ -130,6 +166,9 @@ func (s *Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "regions=%d totalOps=%.3g criticalOps=%.3g workerImbalance=%.3f timeImbalance=%.3f\n",
 		s.Regions, s.TotalOps, s.CriticalOps, s.WorkerImbalance(), s.TimeImbalance())
+	if s.StealCount > 0 {
+		fmt.Fprintf(&b, "  steals=%.0f stolenPatterns=%.0f\n", s.StealCount, s.StolenPatterns)
+	}
 	for k := Region(0); k < numRegionKinds; k++ {
 		if s.KindRegions[k] == 0 {
 			continue

@@ -179,9 +179,79 @@ func (s *Schedule) Total() int { return s.total }
 // NumSpans returns the span (partition) count.
 func (s *Schedule) NumSpans() int { return len(s.spans) }
 
+// Span returns span sp (its global pattern extent and per-pattern cost).
+func (s *Schedule) Span(sp int) Span { return s.spans[sp] }
+
 // SpanRuns returns worker w's runs inside span sp, ascending and disjoint.
 // The returned slice is shared; callers must not modify it.
 func (s *Schedule) SpanRuns(w, sp int) []Run { return s.runs[w][sp] }
+
+// ChunkAlign is the pattern-count multiple that chunk cuts snap to. Sixteen
+// patterns cover one 64-byte cache line of int32 scaling exponents (the
+// densest per-pattern array the kernels write), so two workers processing
+// adjacent chunks of a contiguous run never contend on the same scaling
+// cache line; CLV rows are >= 32 bytes per pattern and need no finer grain.
+const ChunkAlign = 16
+
+// ChunkRuns splits worker w's runs inside span sp into chunk-sized sub-runs
+// for the work-stealing runtime. The chunk size is minChunk rounded up to a
+// ChunkAlign multiple; for contiguous runs (Step 1) every interior cut is
+// additionally snapped forward onto a *global* pattern index that is a
+// ChunkAlign multiple — a run can start anywhere under the LPT packs, so
+// run-relative cuts alone would not keep two adjacent chunks off one cache
+// line of the scaling vectors (strided cyclic runs interleave workers per
+// pattern anyway, so their cuts stay on plain size boundaries). The final
+// chunk of each run absorbs any remainder shorter than a full chunk; with
+// the alignment snap a chunk therefore holds between minChunk-(ChunkAlign-1)
+// and 2*minChunk-1 patterns (except a whole run smaller than that). The
+// union of the emitted chunks over all workers and spans is exactly the
+// schedule's assignment — chunking never drops, duplicates, or reorders a
+// pattern, whatever the strategy. minChunk < 1 emits one chunk per run.
+func (s *Schedule) ChunkRuns(w, sp, minChunk int) []Run {
+	var out []Run
+	mc := minChunk
+	if mc < 1 {
+		mc = 1 << 62 // one chunk per run
+	} else {
+		mc = (mc + ChunkAlign - 1) / ChunkAlign * ChunkAlign
+	}
+	for _, r := range s.runs[w][sp] {
+		n := r.Len()
+		if n == 0 {
+			continue
+		}
+		full := n / mc // cut after every mc patterns; remainder joins the last
+		if full <= 1 {
+			out = append(out, r)
+			continue
+		}
+		// Interior cuts sit at pattern ordinal c*mc + snap; mc is itself an
+		// alignment multiple, so shifting every cut by one common snap < mc
+		// aligns them all globally, growing the first chunk by at most
+		// ChunkAlign-1 and shrinking the last by the same.
+		snap := 0
+		if r.Step == 1 {
+			snap = (ChunkAlign - r.Lo%ChunkAlign) % ChunkAlign
+		}
+		prev := 0
+		for c := 1; c <= full; c++ {
+			b := c*mc + snap
+			if c == full || b > n {
+				b = n
+			}
+			out = append(out, Run{
+				Lo:   r.Lo + prev*r.Step,
+				Hi:   r.Lo + (b-1)*r.Step + 1,
+				Step: r.Step,
+			})
+			prev = b
+			if b == n {
+				break
+			}
+		}
+	}
+	return out
+}
 
 // WorkerRuns returns all runs of worker w across spans, in ascending global
 // order (spans are consecutive, so span order is global order).
@@ -426,6 +496,39 @@ func (s *Schedule) buildWeighted() {
 // or NaN entry means "no usable observation for this partition" and leaves
 // that span's prior cost in place on Rebalance.
 type PartitionCosts []float64
+
+// MergeEWMA folds one measurement window's observed per-pattern costs into a
+// running exponentially-weighted average: for every span with a usable
+// observation the result is decay*observed + (1-decay)*prior, so a single
+// noisy window moves the cost by at most the decay fraction and cannot thrash
+// the LPT pack, while a persistent shift still converges geometrically. A
+// missing/invalid observation (zero, negative, NaN, Inf) keeps the prior; a
+// missing prior (nil receiver, or a zero entry — e.g. a partition that had
+// never been sampled) adopts the observation outright, so the first window
+// after startup is not damped toward nothing. decay is clamped to (0, 1]; the
+// receiver is not modified.
+func (prior PartitionCosts) MergeEWMA(observed PartitionCosts, decay float64) PartitionCosts {
+	if decay <= 0 || decay > 1 || math.IsNaN(decay) {
+		decay = 1
+	}
+	usable := func(c float64) bool { return c > 0 && !math.IsNaN(c) && !math.IsInf(c, 0) }
+	out := make(PartitionCosts, len(observed))
+	for i, obs := range observed {
+		var pri float64
+		if i < len(prior) {
+			pri = prior[i]
+		}
+		switch {
+		case usable(obs) && usable(pri):
+			out[i] = decay*obs + (1-decay)*pri
+		case usable(obs):
+			out[i] = obs
+		case usable(pri):
+			out[i] = pri
+		}
+	}
+	return out
+}
 
 // Rebalance derives a new schedule from observed per-pattern costs: the same
 // span (partition) boundaries and worker count as s, but each span priced at

@@ -317,6 +317,125 @@ func TestRebalanceNeverDropsOrDuplicatesPatterns(t *testing.T) {
 	}
 }
 
+// TestChunkRunsCoverAssignmentExactly is the chunk-emission property behind
+// the work-stealing runtime: for every strategy, splitting every worker's
+// span runs into chunks reproduces the schedule's assignment exactly — no
+// pattern dropped, duplicated, or moved to another worker — and every chunk
+// respects the size contract (at least the aligned minimum, at most one
+// pattern short of two chunks, except where the whole run is smaller).
+func TestChunkRunsCoverAssignmentExactly(t *testing.T) {
+	for _, strat := range []Strategy{Cyclic, Block, Weighted, Measured} {
+		strat := strat
+		f := func(seedRaw uint16, tRaw uint8, mcRaw uint8) bool {
+			spans := randomSpans(int64(seedRaw) + 555)
+			threads := 1 + int(tRaw%17)
+			minChunk := 1 + int(mcRaw%97)
+			s, err := New(strat, threads, spans)
+			if err != nil {
+				return false
+			}
+			mc := (minChunk + ChunkAlign - 1) / ChunkAlign * ChunkAlign
+			owner := make([]int, s.Total())
+			for i := range owner {
+				owner[i] = -1
+			}
+			for w := 0; w < threads; w++ {
+				for sp := range spans {
+					whole := 0
+					for _, r := range s.SpanRuns(w, sp) {
+						whole += r.Len()
+					}
+					got := 0
+					chunks := s.ChunkRuns(w, sp, minChunk)
+					for ci, c := range chunks {
+						n := c.Len()
+						got += n
+						if n == 0 {
+							t.Logf("%v: empty chunk %+v", strat, c)
+							return false
+						}
+						if n > 2*mc-1 && whole > n {
+							t.Logf("%v: chunk %+v has %d patterns (> %d) but run is larger", strat, c, n, 2*mc-1)
+							return false
+						}
+						// Interior boundaries of contiguous runs must fall on
+						// globally aligned pattern indices (the false-sharing
+						// contract the steal runtime relies on).
+						if c.Step == 1 && ci > 0 && chunks[ci-1].Step == 1 && chunks[ci-1].Hi == c.Lo {
+							if c.Lo%ChunkAlign != 0 {
+								t.Logf("%v: interior cut at %d is not %d-aligned", strat, c.Lo, ChunkAlign)
+								return false
+							}
+						}
+						for i := c.Lo; i < c.Hi; i += c.Step {
+							if owner[i] != -1 {
+								t.Logf("%v: pattern %d chunked twice (workers %d, %d)", strat, i, owner[i], w)
+								return false
+							}
+							owner[i] = w
+						}
+					}
+					if got != whole {
+						t.Logf("%v: worker %d span %d chunks cover %d of %d patterns", strat, w, sp, got, whole)
+						return false
+					}
+				}
+			}
+			// Chunk ownership must equal run ownership index by index.
+			for w := 0; w < threads; w++ {
+				for sp := range spans {
+					for _, r := range s.SpanRuns(w, sp) {
+						for i := r.Lo; i < r.Hi; i += r.Step {
+							if owner[i] != w {
+								t.Logf("%v: pattern %d assigned to %d but chunked to %d", strat, i, w, owner[i])
+								return false
+							}
+						}
+					}
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+			t.Errorf("%v: %v", strat, err)
+		}
+	}
+}
+
+// TestMergeEWMACushionsSpike is the cost-smoothing satellite check: a single
+// wildly corrupted measurement window moves the merged cost only by the decay
+// fraction, invalid observations keep the prior, and a first observation with
+// no prior is adopted outright.
+func TestMergeEWMACushionsSpike(t *testing.T) {
+	prior := PartitionCosts{100, 100, 100, 0}
+	observed := PartitionCosts{10000, math.NaN(), 0, 500}
+	got := prior.MergeEWMA(observed, 0.25)
+	want := PartitionCosts{0.25*10000 + 0.75*100, 100, 100, 500}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("merged[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// The spike is damped: one window at 100x moves the cost to 2575, not
+	// 10000; a second clean window pulls it most of the way back.
+	recovered := got.MergeEWMA(PartitionCosts{100, 100, 100, 500}, 0.25)
+	if recovered[0] >= got[0] || recovered[0] < 100 {
+		t.Errorf("second clean window did not recover toward truth: %v -> %v", got[0], recovered[0])
+	}
+	// Nil prior adopts observations; invalid decay falls back to no smoothing.
+	first := PartitionCosts(nil).MergeEWMA(PartitionCosts{7, 0}, 0.25)
+	if first[0] != 7 || first[1] != 0 {
+		t.Errorf("nil-prior merge = %v, want [7 0]", first)
+	}
+	raw := prior.MergeEWMA(observed, -3)
+	if raw[0] != 10000 || raw[1] != 100 {
+		t.Errorf("invalid decay merge = %v, want observed-or-prior", raw)
+	}
+	if prior[0] != 100 {
+		t.Error("MergeEWMA modified its receiver")
+	}
+}
+
 // TestBlockIsContiguous verifies each worker owns at most one contiguous
 // global range under Block.
 func TestBlockIsContiguous(t *testing.T) {
