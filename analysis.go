@@ -188,6 +188,7 @@ func (ds *Dataset) newAnalysis(o AnalysisOptions) (*Analysis, error) {
 		Schedule:   ds.opts.Schedule,
 		Steal:      ds.opts.Steal,
 		MinChunk:   o.MinChunk,
+		Backend:    ds.opts.Backend,
 	})
 	if err != nil {
 		exec.Close()

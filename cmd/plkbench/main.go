@@ -22,26 +22,66 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"phylo/internal/bench"
+	"phylo/internal/core"
 )
 
 func main() {
 	var (
-		scale     = flag.Float64("scale", 0.01, "dataset column scale (d20_20000 grid)")
-		seed      = flag.Int64("seed", 42, "simulation seed")
-		threads   = flag.String("threads", "1,4,8", "comma-separated thread counts")
-		out       = flag.String("out", "BENCH_plk.json", "output JSON path (- for stdout)")
-		check     = flag.String("check", "", "baseline report JSON to gate against (exit 1 on regression)")
-		compare   = flag.String("compare", "", "pre-measured report JSON to check instead of re-measuring")
-		tolerance = flag.Float64("tolerance", 0.20, "fractional ns/op regression tolerance for -check")
+		scale      = flag.Float64("scale", 0.01, "dataset column scale (d20_20000 grid)")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		threads    = flag.String("threads", "1,4,8", "comma-separated thread counts")
+		out        = flag.String("out", "BENCH_plk.json", "output JSON path (- for stdout)")
+		check      = flag.String("check", "", "baseline report JSON to gate against (exit 1 on regression)")
+		compare    = flag.String("compare", "", "pre-measured report JSON to check instead of re-measuring")
+		tolerance  = flag.Float64("tolerance", 0.20, "fractional ns/op regression tolerance for -check")
+		backendF   = flag.String("backend", "auto", "kernel backend for the session timings: auto | generic | fused (auto honors PLK_BACKEND, default fused)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement run to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation (heap) profile to this file at exit")
 	)
 	flag.Parse()
 
 	if *compare != "" && *check == "" {
 		fatal(fmt.Errorf("-compare %s without -check does nothing; pass the baseline to gate against", *compare))
+	}
+	// The microbench builds its own shared state per thread count, so the
+	// backend choice flows through the documented BackendAuto resolution
+	// path: validate the flag, then pin the environment for this process.
+	// (The generic-vs-fused comparison section always measures both.)
+	if b, err := core.ParseBackend(*backendF); err != nil {
+		fatal(err)
+	} else if b != core.BackendAuto {
+		os.Setenv("PLK_BACKEND", b.String())
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
 	}
 
 	var rep *bench.MicrobenchReport
@@ -117,6 +157,13 @@ func writeReport(rep *bench.MicrobenchReport, out string) {
 	if c := rep.StealComparison; c != nil {
 		fmt.Printf("steal-vs-weighted end state: static time-imbalance %.4f, steal %.4f (%.0f steals)\n",
 			c.WeightedTimeImbalance, c.StealTimeImbalance, c.StealCount)
+	}
+	for _, bt := range rep.BackendCase {
+		fmt.Printf("T=%-2d backend newview: generic %10.0f ns/op   fused %10.0f ns/op   speedup %.2fx\n",
+			bt.Threads, bt.GenericNsOp, bt.FusedNsOp, bt.Speedup)
+	}
+	if rep.Backend != "" {
+		fmt.Printf("active kernel backend: %s\n", rep.Backend)
 	}
 	fmt.Printf("wrote %s\n", out)
 }

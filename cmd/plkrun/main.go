@@ -46,6 +46,7 @@ func main() {
 		schedFlag = flag.String("schedule", "cyclic", "pattern-to-worker assignment: cyclic | block | weighted | adaptive")
 		rebThresh = flag.Float64("rebalance-threshold", 0, "measured worker-time imbalance that triggers an adaptive reschedule (<=1 = default 1.1; only with -schedule adaptive)")
 		stealFlag = flag.Bool("steal", false, "intra-region work stealing: chunked per-worker deques, drained workers steal half of the most loaded victim")
+		backendF  = flag.String("backend", "auto", "likelihood kernel backend: auto | generic | fused (auto honors PLK_BACKEND, default fused)")
 		minChunk  = flag.Int("min-chunk", 0, "minimum stealable chunk size in patterns (0 = default 64; only with -steal)")
 		perPart   = flag.Bool("perpart", false, "per-partition branch lengths")
 		virtual   = flag.Bool("virtual", false, "virtual workers + platform pricing instead of real goroutines")
@@ -75,11 +76,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	backend, err := phylo.ParseKernelBackend(*backendF)
+	if err != nil {
+		fatal(err)
+	}
 	ds, err := phylo.NewDataset(al, phylo.DatasetOptions{
 		Threads:        *threads,
 		Schedule:       sched,
 		VirtualThreads: *virtual,
 		Steal:          *stealFlag,
+		Backend:        backend,
 	})
 	if err != nil {
 		fatal(err)
@@ -107,8 +113,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("dataset: %d taxa, %d sites -> %d patterns, %d partitions; strategy %v, schedule %v, %d threads\n",
-		ds.NumTaxa(), ds.NumSites(), ds.NumPatterns(), ds.NumPartitions(), strat, sched, *threads)
+	fmt.Printf("dataset: %d taxa, %d sites -> %d patterns, %d partitions; strategy %v, schedule %v, backend %v, %d threads\n",
+		ds.NumTaxa(), ds.NumSites(), ds.NumPatterns(), ds.NumPartitions(), strat, sched, ds.Backend(), *threads)
 
 	if *sessions > 1 {
 		if err := runConcurrent(ctx, ds, aopts, sched, *sessions, *mode, *rounds, *radius); err != nil {

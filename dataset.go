@@ -55,6 +55,14 @@ type DatasetOptions struct {
 	// model all sessions share; the chunk granularity is tuned per session
 	// via AnalysisOptions.MinChunk.
 	Steal bool
+	// Backend selects the likelihood kernel backend for every session over
+	// this dataset. The zero value (BackendAuto) consults the PLK_BACKEND
+	// environment variable and otherwise picks BackendFused — the
+	// category-major, state-contiguous CLV layout with unrolled 4-state DNA
+	// kernels. BackendGeneric keeps the pattern-major seed path; both produce
+	// bit-identical results. It is a Dataset option because the backend fixes
+	// the CLV memory layout all sessions share.
+	Backend KernelBackend
 }
 
 // Dataset is the immutable, shareable result of the per-dataset setup work
@@ -106,7 +114,7 @@ func NewDataset(al *Alignment, o DatasetOptions) (*Dataset, error) {
 		}
 		models[i] = m
 	}
-	sh, err := core.NewShared(d, o.GammaCategories, o.Threads)
+	sh, err := core.NewSharedWith(d, o.GammaCategories, o.Threads, o.Backend)
 	if err != nil {
 		return nil, err
 	}
@@ -187,3 +195,7 @@ func (ds *Dataset) Threads() int { return ds.opts.Threads }
 
 // TaxonNames returns the taxon labels.
 func (ds *Dataset) TaxonNames() []string { return append([]string(nil), ds.names...) }
+
+// Backend reports the resolved kernel backend every session over this
+// dataset runs (never BackendAuto).
+func (ds *Dataset) Backend() KernelBackend { return ds.shared.Backend }

@@ -97,6 +97,12 @@ type RunSpec struct {
 	// MinChunk is the minimum stealable chunk size in patterns (0 = the
 	// engine default of 64). Only meaningful with Steal.
 	MinChunk int
+
+	// KernelBackend selects the likelihood kernel backend (the CLV layout
+	// and kernel bodies, see core.Backend — distinct from Backend above,
+	// which picks the executor). The zero value resolves through PLK_BACKEND
+	// to the fused default; results are bit-identical across backends.
+	KernelBackend core.Backend
 }
 
 // Measurement is the outcome of one run. Stats carries the cumulative
@@ -160,7 +166,7 @@ func Run(ctx context.Context, spec RunSpec) (*Measurement, error) {
 		return nil, err
 	}
 	defer exec.Close()
-	sh, err := core.NewShared(d, models[0].NumCats, spec.Threads)
+	sh, err := core.NewSharedWith(d, models[0].NumCats, spec.Threads, spec.KernelBackend)
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +186,7 @@ func Run(ctx context.Context, spec RunSpec) (*Measurement, error) {
 		Schedule:   spec.Schedule,
 		Steal:      spec.Steal,
 		MinChunk:   spec.MinChunk,
+		Backend:    spec.KernelBackend,
 	})
 	if err != nil {
 		return nil, err

@@ -48,6 +48,25 @@ func CompareReports(baseline, fresh *MicrobenchReport, tol float64) []string {
 		}
 		check("newview-tip(specialized)", tc.Threads, b.SpecializedNsOp, tc.SpecializedNsOp)
 	}
+	// Kernel backend: the fused timing rides the usual trajectory check
+	// against the baseline, and the generic-vs-fused speedup at one thread is
+	// additionally held to an absolute floor — an intra-run ratio, so it needs
+	// no baseline entry and is immune to machine-class drift. The floor only
+	// fires when both backends were actually measured.
+	baseBackend := make(map[int]BackendTiming, len(baseline.BackendCase))
+	for _, bt := range baseline.BackendCase {
+		baseBackend[bt.Threads] = bt
+	}
+	for _, bt := range fresh.BackendCase {
+		if b, ok := baseBackend[bt.Threads]; ok {
+			check("newview-backend(fused)", bt.Threads, b.FusedNsOp, bt.FusedNsOp)
+		}
+		if bt.Threads == 1 && bt.GenericNsOp > 0 && bt.FusedNsOp > 0 && bt.Speedup < backendSpeedupFloor {
+			regressions = append(regressions,
+				fmt.Sprintf("backend @ 1 thread: fused newview speedup %.2fx below the %.1fx floor (generic %.0f ns/op, fused %.0f ns/op)",
+					bt.Speedup, backendSpeedupFloor, bt.GenericNsOp, bt.FusedNsOp))
+		}
+	}
 	// Stealing pathology: on the honestly priced microbenchmark workload,
 	// more than half of all patterns migrating means the static pack is
 	// systematically mispriced — stealing is papering over a scheduling bug,
@@ -68,3 +87,9 @@ func CompareReports(baseline, fresh *MicrobenchReport, tol float64) []string {
 // stealMigrationCeiling is the migrated-pattern fraction above which the
 // perf gate treats stealing as a symptom rather than a cure.
 const stealMigrationCeiling = 0.5
+
+// backendSpeedupFloor is the minimum generic-vs-fused newview speedup at one
+// thread: the fused backend's cat-major layout and unrolled 4-state kernels
+// must at least halve the oracle's traversal time (measured best-of-three per
+// backend; the ratio sits around 2.15x on current hardware).
+const backendSpeedupFloor = 2.0

@@ -15,6 +15,9 @@ func checkReport() *MicrobenchReport {
 		TipCase: []TipCaseTiming{
 			{Threads: 1, SpecializedNsOp: 2000, GenericNsOp: 5000, Speedup: 2.5},
 		},
+		BackendCase: []BackendTiming{
+			{Threads: 1, GenericNsOp: 34000, FusedNsOp: 16000, Speedup: 2.125},
+		},
 	}
 }
 
@@ -72,9 +75,66 @@ func TestCompareReportsGate(t *testing.T) {
 	// baseline from before the tip-case bench still gates the core kernels.
 	old := checkReport()
 	old.TipCase = nil
+	old.BackendCase = nil
 	old.Timings = old.Timings[:1]
 	if regs := CompareReports(old, slow, 0.20); len(regs) != 0 {
 		t.Errorf("thread counts absent from the baseline must be skipped, got %v", regs)
+	}
+}
+
+// TestCompareReportsBackendColumn covers the kernel-backend arm of the perf
+// gate: a synthetic regression of the fused timing against the baseline
+// fails the trajectory check, and a fused backend that loses its 2x edge
+// over the generic oracle trips the absolute speedup floor even when the
+// baseline has no backend entries at all.
+func TestCompareReportsBackendColumn(t *testing.T) {
+	base := checkReport()
+	if regs := CompareReports(base, checkReport(), 0.20); len(regs) != 0 {
+		t.Fatalf("identical backend timings must pass, got %v", regs)
+	}
+
+	// Synthetic 30% fused-kernel slowdown: trajectory regression (the
+	// speedup stays above the floor because generic slowed down too).
+	slow := checkReport()
+	slow.BackendCase[0].FusedNsOp *= 1.3
+	slow.BackendCase[0].GenericNsOp *= 1.3
+	regs := CompareReports(base, slow, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "newview-backend(fused) @ 1 threads") {
+		t.Errorf("fused trajectory regression not caught: %v", regs)
+	}
+
+	// Fused edge eroded to 1.4x: the absolute floor fires, baseline or not.
+	eroded := checkReport()
+	eroded.BackendCase[0].FusedNsOp = eroded.BackendCase[0].GenericNsOp / 1.4
+	eroded.BackendCase[0].Speedup = 1.4
+	for _, baseline := range []*MicrobenchReport{base, {Dataset: "no-backend-column"}} {
+		regs := CompareReports(baseline, eroded, 0.50) // wide tol: isolate the floor
+		found := false
+		for _, r := range regs {
+			if strings.Contains(r, "below the 2.0x floor") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("eroded 1.4x speedup must trip the floor (baseline %q): %v", baseline.Dataset, regs)
+		}
+	}
+
+	// At the floor exactly passes; the floor is a minimum, not a target band.
+	atFloor := checkReport()
+	atFloor.BackendCase[0].FusedNsOp = atFloor.BackendCase[0].GenericNsOp / 2
+	atFloor.BackendCase[0].Speedup = 2.0
+	if regs := CompareReports(base, atFloor, 0.20); len(regs) != 0 {
+		t.Errorf("exactly 2.0x must pass the floor, got %v", regs)
+	}
+
+	// The floor only applies at one thread (parallel timings are gated by the
+	// trajectory check alone — barrier effects make cross-backend ratios at
+	// higher thread counts a scheduling property, not a kernel property).
+	mt := checkReport()
+	mt.BackendCase = append(mt.BackendCase, BackendTiming{Threads: 4, GenericNsOp: 9000, FusedNsOp: 8000, Speedup: 1.125})
+	if regs := CompareReports(base, mt, 0.20); len(regs) != 0 {
+		t.Errorf("sub-floor speedup at 4 threads must not trip the 1-thread floor, got %v", regs)
 	}
 }
 
@@ -152,5 +212,24 @@ func TestTipCaseSpeedupRecorded(t *testing.T) {
 	}
 	if rep.TipDataset == "" {
 		t.Error("tip dataset description missing")
+	}
+	// The backend column rides in the same report: both backends measured,
+	// the active session backend recorded, and the fused speedup at one
+	// thread clearing the CompareReports floor (the acceptance criterion).
+	if rep.Backend == "" {
+		t.Error("active kernel backend missing from report")
+	}
+	if len(rep.BackendCase) != 1 {
+		t.Fatalf("want one backend timing, got %d", len(rep.BackendCase))
+	}
+	bt := rep.BackendCase[0]
+	if bt.GenericNsOp <= 0 || bt.FusedNsOp <= 0 || bt.Speedup <= 0 {
+		t.Fatalf("backend timing not populated: %+v", bt)
+	}
+	if bt.Speedup < backendSpeedupFloor {
+		t.Errorf("fused newview speedup %.2fx below the %.1fx acceptance floor", bt.Speedup, backendSpeedupFloor)
+	}
+	if rep.BackendDataset == "" {
+		t.Error("backend dataset description missing")
 	}
 }

@@ -35,16 +35,37 @@ type TipCaseTiming struct {
 	Speedup         float64 `json:"speedup"`
 }
 
+// BackendTiming compares the fused kernel backend (cat-major CLV layout,
+// unrolled 4-state kernels) against the generic pattern-major oracle on one
+// full newview traversal of a DNA dataset deep enough that inner/inner
+// P-matrix applications dominate, at one thread count.
+type BackendTiming struct {
+	Threads     int     `json:"threads"`
+	GenericNsOp float64 `json:"generic_ns_op"`
+	FusedNsOp   float64 `json:"fused_ns_op"`
+	Speedup     float64 `json:"speedup"`
+}
+
 // MicrobenchReport is the machine-readable kernel benchmark summary the CI
 // perf-trajectory job serializes into BENCH_plk.json and gates against
 // BENCH_baseline.json (see CompareReports).
 type MicrobenchReport struct {
-	Dataset    string         `json:"dataset"`
-	Taxa       int            `json:"taxa"`
-	Sites      int            `json:"sites"`
-	Partitions int            `json:"partitions"`
-	Patterns   int            `json:"patterns"`
-	Timings    []KernelTiming `json:"timings"`
+	Dataset    string `json:"dataset"`
+	Taxa       int    `json:"taxa"`
+	Sites      int    `json:"sites"`
+	Partitions int    `json:"partitions"`
+	Patterns   int    `json:"patterns"`
+	// Backend is the resolved kernel backend the Timings ran under (the
+	// session default: PLK_BACKEND or fused).
+	Backend string         `json:"backend,omitempty"`
+	Timings []KernelTiming `json:"timings"`
+	// BackendDataset and BackendCase cover the generic-vs-fused newview
+	// microbenchmark: same dataset, same schedule, both kernel backends on
+	// the same commit. CompareReports enforces an absolute speedup floor at
+	// one thread (see backendSpeedupFloor) on top of the usual trajectory
+	// check.
+	BackendDataset string          `json:"backend_dataset,omitempty"`
+	BackendCase    []BackendTiming `json:"backend_case,omitempty"`
 	// TipDataset and TipCase cover the tip-heavy newview microbenchmark:
 	// specialized vs generic kernels on the same commit.
 	TipDataset string          `json:"tip_dataset,omitempty"`
@@ -136,6 +157,7 @@ func Microbench(threadCounts []int, scale float64, seed int64) (*MicrobenchRepor
 			pool.Close()
 			return nil, err
 		}
+		rep.Backend = eng.Backend().String()
 		root := eng.Tree.Tips[0].Back
 		eng.Traverse(root, false, nil) // warm the CLVs once
 		evalRes := testing.Benchmark(func(b *testing.B) {
@@ -157,6 +179,9 @@ func Microbench(threadCounts []int, scale float64, seed int64) (*MicrobenchRepor
 		})
 	}
 	if err := tipCaseBench(rep, threadCounts, seed); err != nil {
+		return nil, err
+	}
+	if err := backendBench(rep, threadCounts, seed); err != nil {
 		return nil, err
 	}
 	if err := stealBench(rep, threadCounts, scale, seed); err != nil {
@@ -251,6 +276,88 @@ func stealBench(rep *MicrobenchReport, threadCounts []int, scale float64, seed i
 		}
 		rep.Steal = append(rep.Steal, sm)
 		pool.Close()
+	}
+	return nil
+}
+
+// backendBench times one full newview traversal on a 4-state dataset under
+// the generic (pattern-major oracle) and fused (cat-major, unrolled) kernel
+// backends at each thread count. The dataset is fixed-size like the tip-case
+// benchmark — large enough that the traversal is kernel-bound — and uses
+// enough taxa that inner/inner P applications (the case the fused unrolling
+// targets) carry roughly half the child slots of the traversal.
+func backendBench(rep *MicrobenchReport, threadCounts []int, seed int64) error {
+	const bTaxa, bSites = 48, 8192
+	ds, err := seqsim.GridDataset(bTaxa, bSites, bSites, 1.0, seed+29)
+	if err != nil {
+		return err
+	}
+	d, err := alignment.Compress(ds.Alignment, ds.Parts, alignment.CompressOptions{})
+	if err != nil {
+		return err
+	}
+	models := make([]*model.Model, len(d.Parts))
+	for i, p := range d.Parts {
+		if models[i], err = model.DefaultFor(p, 4, 1.0); err != nil {
+			return err
+		}
+	}
+	rep.BackendDataset = fmt.Sprintf("%s (%d patterns)", ds.Name, d.TotalPatterns)
+	for _, t := range threadCounts {
+		pool, err := parallel.NewPool(t)
+		if err != nil {
+			return err
+		}
+		timing := BackendTiming{Threads: t}
+		for _, backend := range []core.Backend{core.BackendGeneric, core.BackendFused} {
+			sh, err := core.NewSharedWith(d, 4, t, backend)
+			if err != nil {
+				pool.Close()
+				return err
+			}
+			tr, err := tree.Random(ds.Alignment.Names, len(d.Parts), tree.RandomOptions{Seed: seed + 1})
+			if err != nil {
+				pool.Close()
+				return err
+			}
+			ms := make([]*model.Model, len(models))
+			for i, m := range models {
+				ms[i] = m.Clone()
+			}
+			eng, err := core.NewSession(sh, tr, ms, pool.Session(), core.Options{Specialize: true})
+			if err != nil {
+				pool.Close()
+				return err
+			}
+			root := eng.Tree.Tips[0].Back
+			eng.Traverse(root, false, nil)
+			// Best of three: the speedup ratio feeds an absolute CI floor
+			// (see backendSpeedupFloor), so take the minimum ns/op of three
+			// benchmark runs per backend — the standard robust estimator
+			// against one-sided scheduler/frequency noise.
+			best := 0.0
+			for attempt := 0; attempt < 3; attempt++ {
+				res := testing.Benchmark(func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						eng.InvalidateCLVs()
+						eng.Traverse(root, false, nil)
+					}
+				})
+				if ns := float64(res.NsPerOp()); best == 0 || ns < best {
+					best = ns
+				}
+			}
+			if backend == core.BackendFused {
+				timing.FusedNsOp = best
+			} else {
+				timing.GenericNsOp = best
+			}
+		}
+		pool.Close()
+		if timing.FusedNsOp > 0 {
+			timing.Speedup = timing.GenericNsOp / timing.FusedNsOp
+		}
+		rep.BackendCase = append(rep.BackendCase, timing)
 	}
 	return nil
 }

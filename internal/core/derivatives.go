@@ -78,7 +78,9 @@ type sumSpanCtx struct {
 	s, cats    int
 	cs         int
 	base       int
-	sbase      int
+	patStride  int // CLV layout: offset between consecutive patterns
+	catStride  int // CLV layout: offset between consecutive categories
+	sbase      int // sumtable base (the sumtable is always pattern-major)
 	partOffset int
 	dtype      alignment.DataType
 	invCats    float64
@@ -88,6 +90,7 @@ type sumSpanCtx struct {
 	v, vi      []float64
 	freqs      []float64
 	lTab, rTab []float64
+	kern       KernelBackend
 	fixed      float64
 }
 
@@ -98,10 +101,12 @@ func (e *Engine) prepareSumtableSpan(c *sumSpanCtx, p, q *tree.Node, ip, w int) 
 	m := e.Models[ip]
 	*c = sumSpanCtx{
 		e: e, ip: ip, w: w, s: s, cats: e.numCats, cs: e.numCats * s,
-		base: e.clvBase[ip], sbase: e.sumBase[ip], partOffset: part.Offset,
+		base: e.layout.Base(ip), patStride: e.layout.PatStride(ip), catStride: e.layout.CatStride(ip),
+		sbase: e.layout.SumIndex(ip, 0), partOffset: part.Offset,
 		dtype: part.Type, invCats: 1.0 / float64(e.numCats),
 		pTip: p.IsTip(), qTip: q.IsTip(),
 		v: m.EigenVecs, vi: m.InvVecs, freqs: m.Freqs,
+		kern: e.kernels[ip],
 	}
 	if c.pTip {
 		c.pRow = part.Tips[p.Index]
@@ -141,16 +146,24 @@ func (c *sumSpanCtx) takeOps(count int) float64 {
 }
 
 // process fills the sumtable for one pattern run and returns the pattern
-// count. Sumtable writes are disjoint per pattern, so runs can execute on
-// any worker in any order.
+// count, dispatching through the partition's backend. Sumtable writes are
+// disjoint per pattern, so runs can execute on any worker in any order.
 func (c *sumSpanCtx) process(run schedule.Run) int {
+	return c.kern.Sumtable(c, run)
+}
+
+// processGeneric is the layout-aware generic sumtable body: CLV reads go
+// through the layout strides, while the sumtable keeps the pattern-major
+// geometry under every backend (the derivative kernel reduces one pattern's
+// contiguous cats·s block at a time). Every backend routes here today; the
+// eigenbasis projections accumulate in state-ascending order in any case.
+func (c *sumSpanCtx) processGeneric(run schedule.Run) int {
 	s := c.s
-	cs := c.cs
 	count := 0
 	for i := run.Lo; i < run.Hi; i += run.Step {
 		j := i - c.partOffset
-		off := c.base + j*cs
-		soff := c.sbase + j*cs
+		off := c.base + j*c.patStride
+		soff := c.sbase + j*c.cs
 		var xl, xr []float64
 		var lRow, rRow []float64
 		if c.lTab != nil {
@@ -158,29 +171,26 @@ func (c *sumSpanCtx) process(run schedule.Run) int {
 			lRow = c.lTab[code*s : (code+1)*s]
 		} else if c.pTip {
 			xl = alignment.TipVector(c.dtype, c.pRow[j])
-		} else {
-			xl = c.pv[off : off+cs]
 		}
 		if c.rTab != nil {
 			code := int(c.qRow[j])
 			rRow = c.rTab[code*s : (code+1)*s]
 		} else if c.qTip {
 			xr = alignment.TipVector(c.dtype, c.qRow[j])
-		} else {
-			xr = c.qv[off : off+cs]
 		}
 		for cat := 0; cat < c.cats; cat++ {
+			co := off + cat*c.catStride
 			var cl, cr []float64
 			if lRow == nil {
 				cl = xl
 				if !c.pTip {
-					cl = xl[cat*s : (cat+1)*s]
+					cl = c.pv[co : co+s]
 				}
 			}
 			if rRow == nil {
 				cr = xr
 				if !c.qTip {
-					cr = xr[cat*s : (cat+1)*s]
+					cr = c.qv[co : co+s]
 				}
 			}
 			dst := c.e.sumtable[soff+cat*s : soff+(cat+1)*s]
@@ -281,10 +291,11 @@ type derivSpanCtx struct {
 	e                  *Engine
 	ip                 int
 	s, cats, cs        int
-	sbase              int
+	sbase              int // sumtable base (always pattern-major)
 	partOffset         int
 	weights            []float64
 	eTab, g1Tab, g2Tab []float64
+	kern               KernelBackend
 }
 
 // prepareDerivSpan fills the exponential tables E = exp(lambda_k r_c z) and
@@ -297,8 +308,9 @@ func (e *Engine) prepareDerivSpan(c *derivSpanCtx, ip int, z float64, ex []float
 	m := e.Models[ip]
 	*c = derivSpanCtx{
 		e: e, ip: ip, s: s, cats: cats, cs: cs,
-		sbase: e.sumBase[ip], partOffset: part.Offset, weights: part.Weights,
+		sbase: e.layout.SumIndex(ip, 0), partOffset: part.Offset, weights: part.Weights,
 		eTab: ex[0:cs], g1Tab: ex[cs : 2*cs], g2Tab: ex[2*cs : 3*cs],
+		kern: e.kernels[ip],
 	}
 	for cat := 0; cat < cats; cat++ {
 		rc := m.CatRates[cat]
@@ -312,8 +324,15 @@ func (e *Engine) prepareDerivSpan(c *derivSpanCtx, ip int, z float64, ex []float
 }
 
 // process reduces one pattern run to its (d1, d2) partial sums and pattern
-// count; partials are accumulated in ascending pattern order within the run.
+// count, dispatching through the partition's backend.
 func (c *derivSpanCtx) process(run schedule.Run) (float64, float64, int) {
+	return c.kern.Derivatives(c, run)
+}
+
+// processGeneric is the derivative body shared by every backend: it reads
+// only the sumtable, which is pattern-major under all of them. Partials are
+// accumulated in ascending pattern order within the run.
+func (c *derivSpanCtx) processGeneric(run schedule.Run) (float64, float64, int) {
 	cs := c.cs
 	dd1, dd2 := 0.0, 0.0
 	count := 0

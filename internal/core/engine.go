@@ -49,10 +49,16 @@ type Engine struct {
 	// PerPartitionBL reports whether the tree carries one branch-length slot
 	// per partition (true) or a single joint slot (false).
 	PerPartitionBL bool
-	// Specialize enables the unrolled 4-state DNA kernels (ablation switch).
+	// Specialize enables the tip-case lookup tables (ablation switch,
+	// orthogonal to the kernel backend).
 	Specialize bool
 
 	shared *Shared
+
+	// kernels is the per-partition kernel implementation selected from the
+	// shared backend and the partition's alphabet (see kernelFor); the span
+	// contexts dispatch their pattern loops through it.
+	kernels []KernelBackend
 
 	holder       *ScheduleHolder
 	sched        *schedule.Schedule
@@ -84,12 +90,10 @@ type Engine struct {
 
 	numCats  int
 	maxS     int
-	clvBase  []int // borrowed from shared: per-partition CLV offsets
-	clvLen   int   // total CLV floats per inner node
+	layout   *CLVLayout // borrowed from shared: CLV/sumtable geometry
 	clvs     [][]float64
 	scales   [][]int32 // per inner node, per global pattern
-	sumtable []float64 // branch-derivative workspace, patterns x cats x maxS
-	sumBase  []int     // borrowed from shared: per-partition sumtable offsets
+	sumtable []float64 // branch-derivative workspace (always pattern-major)
 
 	evalPartials  [][]float64 // per worker: per-partition lnL partials
 	derivPartials [][]float64 // per worker: per-partition (d1, d2) partials
@@ -97,12 +101,21 @@ type Engine struct {
 	pmScratch  [][2][]float64 // per worker: two P-matrix buffers (cats x s x s)
 	exScratch  [][]float64    // per worker: exponential/derivative tables (3 x cats x s)
 	tipScratch [][2][]float64 // per worker: two tip lookup tables (codes x cats x s)
+
+	// smallScratch is the fused backend's per-worker scaling-flag scratch
+	// (one bool per pattern of the widest partition); nil on other backends.
+	smallScratch [][]bool
 }
 
 // Options configures engine construction.
 type Options struct {
-	// Specialize enables the unrolled DNA kernels (default true via New).
+	// Specialize enables the tip-case lookup tables (default true via New).
 	Specialize bool
+	// Backend selects the kernel backend. The zero value (BackendAuto)
+	// adopts the shared state's backend; a non-auto value must match it —
+	// the backend fixes the CLV layout, which is shared property (New
+	// resolves it when building its own Shared).
+	Backend Backend
 	// Schedule selects the pattern-to-worker assignment strategy. The zero
 	// value is schedule.Cyclic, the paper's distribution; schedule.Block is
 	// the contiguous ablation; schedule.Weighted LPT-bin-packs patterns by
@@ -134,7 +147,7 @@ func New(data *alignment.CompressedData, tr *tree.Tree, models []*model.Model, e
 	if len(models) == 0 {
 		return nil, errors.New("core: no models")
 	}
-	sh, err := NewShared(data, models[0].NumCats, exec.Threads())
+	sh, err := NewSharedWith(data, models[0].NumCats, exec.Threads(), opts.Backend)
 	if err != nil {
 		return nil, err
 	}
@@ -180,6 +193,9 @@ func NewSession(sh *Shared, tr *tree.Tree, models []*model.Model, exec parallel.
 	default:
 		return nil, fmt.Errorf("core: tree has %d branch-length slots; want 1 or %d", tr.ZSlots, len(data.Parts))
 	}
+	if opts.Backend != BackendAuto && opts.Backend != sh.Backend {
+		return nil, fmt.Errorf("core: session requests %v backend, shared state was built for %v", opts.Backend, sh.Backend)
+	}
 	holder, err := sh.HolderFor(opts.Schedule)
 	if err != nil {
 		return nil, err
@@ -200,9 +216,11 @@ func NewSession(sh *Shared, tr *tree.Tree, models []*model.Model, exec parallel.
 		minChunk:       opts.MinChunk,
 		numCats:        sh.NumCats,
 		maxS:           sh.maxS,
-		clvBase:        sh.clvBase,
-		clvLen:         sh.clvLen,
-		sumBase:        sh.sumBase,
+		layout:         sh.layout,
+	}
+	e.kernels = make([]KernelBackend, len(data.Parts))
+	for ip, p := range data.Parts {
+		e.kernels[ip] = kernelFor(sh.Backend, p.Type, sh.NumCats)
 	}
 	e.allMask = make([]bool, len(data.Parts))
 	for i := range e.allMask {
@@ -215,10 +233,10 @@ func NewSession(sh *Shared, tr *tree.Tree, models []*model.Model, exec parallel.
 	e.clvs = make([][]float64, nInner)
 	e.scales = make([][]int32, nInner)
 	for i := range e.clvs {
-		e.clvs[i] = make([]float64, sh.clvLen)
+		e.clvs[i] = alignedFloats(sh.layout.Total())
 		e.scales[i] = make([]int32, data.TotalPatterns)
 	}
-	e.sumtable = make([]float64, sh.sumLen)
+	e.sumtable = alignedFloats(sh.layout.SumTotal())
 	if e.measure {
 		e.partSecs = make([][]float64, sh.Threads)
 		e.partPats = make([][]float64, sh.Threads)
@@ -237,20 +255,38 @@ func NewSession(sh *Shared, tr *tree.Tree, models []*model.Model, exec parallel.
 		e.evalPartials[w] = make([]float64, len(data.Parts))
 		e.derivPartials[w] = make([]float64, 2*len(data.Parts))
 		e.pmScratch[w] = [2][]float64{
-			make([]float64, sh.NumCats*e.maxS*e.maxS),
-			make([]float64, sh.NumCats*e.maxS*e.maxS),
+			alignedFloats(sh.NumCats * e.maxS * e.maxS),
+			alignedFloats(sh.NumCats * e.maxS * e.maxS),
 		}
-		e.exScratch[w] = make([]float64, 3*sh.NumCats*e.maxS)
+		e.exScratch[w] = alignedFloats(3 * sh.NumCats * e.maxS)
 		// One table per tip child: codes × cats × s rows cover the newview
 		// and evaluate tables; the category-independent sumtable projections
 		// (codes × s) reuse a prefix of the same buffers.
 		e.tipScratch[w] = [2][]float64{
-			make([]float64, sh.maxCodes*sh.NumCats*e.maxS),
-			make([]float64, sh.maxCodes*sh.NumCats*e.maxS),
+			alignedFloats(sh.maxCodes * sh.NumCats * e.maxS),
+			alignedFloats(sh.maxCodes * sh.NumCats * e.maxS),
+		}
+	}
+	if sh.Backend == BackendFused {
+		// Per-worker "every entry tiny" flags the fused newview kernels fill
+		// during their category sweeps (while the values are in registers), so
+		// the scaling pass never re-reads the cold category planes.
+		maxPat := 0
+		for _, p := range data.Parts {
+			if p.PatternCount > maxPat {
+				maxPat = p.PatternCount
+			}
+		}
+		e.smallScratch = make([][]bool, t)
+		for w := 0; w < t; w++ {
+			e.smallScratch[w] = make([]bool, maxPat)
 		}
 	}
 	return e, nil
 }
+
+// Backend reports the kernel backend this session runs (never BackendAuto).
+func (e *Engine) Backend() Backend { return e.shared.Backend }
 
 // Shared exposes the session-independent state backing this engine.
 func (e *Engine) Shared() *Shared { return e.shared }

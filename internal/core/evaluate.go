@@ -64,38 +64,48 @@ func (e *Engine) Evaluate(p *tree.Node, active []bool) (float64, []float64) {
 	return total, perPart
 }
 
-// evalPattern is the per-pattern evaluate kernel shared by the parallel
-// reduction and SiteLogLikelihoods: the mean-over-categories site likelihood
-// before the log and the scaling-exponent correction. xl is the p-side CLV
-// slice (a single s-length tip vector when pTip); xr the q-side analogue.
-// When qTab is non-nil (the tip-case specialization) the table row for qCode
-// already holds the P applications and xr is ignored.
-func evalPattern(pm, freqs []float64, s, cats int, xl []float64, pTip bool, xr []float64, qTip bool, qTab []float64, qCode byte) float64 {
+// patternLi is the per-pattern evaluate kernel shared by the parallel
+// reduction and SiteLogLikelihoods: the (unnormalized) sum-over-categories
+// site likelihood before the log and the scaling-exponent correction, read
+// through the layout strides. When the q-side tip table is built, its row
+// already holds the P applications. The accumulation runs in (cat asc, state
+// asc) order — the order every backend must preserve for bit-identity.
+func (c *evalSpanCtx) patternLi(j, off int) float64 {
+	s, cats := c.s, c.cats
 	li := 0.0
-	if qTab != nil {
-		t := qTab[int(qCode)*cats*s:]
-		for c := 0; c < cats; c++ {
-			cl := xl
-			if !pTip {
-				cl = xl[c*s : (c+1)*s]
+	var tvl, tvr []float64
+	if c.pTip {
+		tvl = alignment.TipVector(c.dtype, c.pRow[j])
+	}
+	if c.qTab != nil {
+		t := c.qTab[int(c.qRow[j])*c.cs:]
+		for cat := 0; cat < cats; cat++ {
+			cl := tvl
+			if !c.pTip {
+				co := off + cat*c.catStride
+				cl = c.pv[co : co+s]
 			}
-			tc := t[c*s : (c+1)*s]
+			tc := t[cat*s : (cat+1)*s]
 			for a := 0; a < s; a++ {
-				li += freqs[a] * cl[a] * tc[a]
+				li += c.freqs[a] * cl[a] * tc[a]
 			}
 		}
 		return li
 	}
+	if c.qTip {
+		tvr = alignment.TipVector(c.dtype, c.qRow[j])
+	}
 	ss := s * s
-	for c := 0; c < cats; c++ {
-		pc := pm[c*ss : (c+1)*ss]
-		cl := xl
-		if !pTip {
-			cl = xl[c*s : (c+1)*s]
+	for cat := 0; cat < cats; cat++ {
+		pc := c.pm[cat*ss : (cat+1)*ss]
+		co := off + cat*c.catStride
+		cl := tvl
+		if !c.pTip {
+			cl = c.pv[co : co+s]
 		}
-		cr := xr
-		if !qTip {
-			cr = xr[c*s : (c+1)*s]
+		cr := tvr
+		if !c.qTip {
+			cr = c.qv[co : co+s]
 		}
 		for a := 0; a < s; a++ {
 			row := a * s
@@ -103,7 +113,7 @@ func evalPattern(pm, freqs []float64, s, cats int, xl []float64, pTip bool, xr [
 			for b := 0; b < s; b++ {
 				t += pc[row+b] * cr[b]
 			}
-			li += freqs[a] * cl[a] * t
+			li += c.freqs[a] * cl[a] * t
 		}
 	}
 	return li
@@ -141,6 +151,8 @@ type evalSpanCtx struct {
 	s, cats    int
 	cs         int
 	base       int
+	patStride  int // layout: offset between consecutive patterns
+	catStride  int // layout: offset between consecutive categories
 	partOffset int
 	dtype      alignment.DataType
 	weights    []float64
@@ -152,6 +164,7 @@ type evalSpanCtx struct {
 	pm         []float64
 	freqs      []float64
 	qTab       []float64
+	kern       KernelBackend
 	fixed      float64
 }
 
@@ -166,10 +179,12 @@ func (e *Engine) prepareEvalSpan(c *evalSpanCtx, p, q *tree.Node, ip, w int, pm 
 	m.PMatrices(p.Z[e.slotOf(ip)], pm[:cats*s*s])
 	*c = evalSpanCtx{
 		e: e, ip: ip, w: w, s: s, cats: cats, cs: cats * s,
-		base: e.clvBase[ip], partOffset: part.Offset, dtype: part.Type,
+		base: e.layout.Base(ip), patStride: e.layout.PatStride(ip), catStride: e.layout.CatStride(ip),
+		partOffset: part.Offset, dtype: part.Type,
 		weights: part.Weights, invCats: 1.0 / float64(cats),
 		pTip: p.IsTip(), qTip: q.IsTip(),
 		pm: pm, freqs: m.Freqs,
+		kern:  e.kernels[ip],
 		fixed: float64(cats * s * s * s), // per-worker P-matrix setup
 	}
 	if c.pTip {
@@ -205,107 +220,69 @@ func (c *evalSpanCtx) takeOps(count int) float64 {
 }
 
 // process reduces one pattern run to its weighted log-likelihood partial sum
-// and pattern count. Patterns are accumulated in ascending order within the
-// run, so a run's partial is invariant to which worker processes it.
+// and pattern count, dispatching through the partition's backend. Patterns
+// are accumulated in ascending order within the run, so a run's partial is
+// invariant to which worker processes it.
 func (c *evalSpanCtx) process(run schedule.Run) (float64, int) {
-	cs := c.cs
+	return c.kern.Evaluate(c, run)
+}
+
+// processGeneric is the layout-aware generic evaluate body.
+func (c *evalSpanCtx) processGeneric(run schedule.Run) (float64, int) {
 	sum := 0.0
 	count := 0
 	for i := run.Lo; i < run.Hi; i += run.Step {
 		j := i - c.partOffset
-		off := c.base + j*cs
-		var xl, xr []float64
-		var qCode byte
-		if c.pTip {
-			xl = alignment.TipVector(c.dtype, c.pRow[j])
-		} else {
-			xl = c.pv[off : off+cs]
-		}
-		switch {
-		case c.qTab != nil:
-			qCode = c.qRow[j]
-		case c.qTip:
-			xr = alignment.TipVector(c.dtype, c.qRow[j])
-		default:
-			xr = c.qv[off : off+cs]
-		}
-		li := evalPattern(c.pm, c.freqs, c.s, c.cats, xl, c.pTip, xr, c.qTip, c.qTab, qCode) * c.invCats
-		sc := int32(0)
-		if !c.pTip {
-			sc += c.psc[i]
-		}
-		if !c.qTip {
-			sc += c.qsc[i]
-		}
-		if li <= 0 || math.IsNaN(li) {
-			// Fully incompatible data cannot occur with strictly positive P
-			// matrices; guard against pathological rounding anyway.
-			li = math.SmallestNonzeroFloat64
-		}
-		sum += c.weights[j] * (math.Log(li) + float64(sc)*logMinLik)
+		sum += c.weights[j] * c.site(i, j, c.patternLi(j, c.base+j*c.patStride))
 		count++
 	}
 	return sum, count
 }
 
+// site turns one pattern's raw category-summed likelihood into its site log
+// likelihood: normalize by the category count, fold in the scaling exponents
+// of both branch ends, clamp, and take the log. It is the shared tail of
+// every backend's evaluate body and of SiteLogLikelihoods.
+func (c *evalSpanCtx) site(i, j int, rawLi float64) float64 {
+	li := rawLi * c.invCats
+	sc := int32(0)
+	if !c.pTip {
+		sc += c.psc[i]
+	}
+	if !c.qTip {
+		sc += c.qsc[i]
+	}
+	if li <= 0 || math.IsNaN(li) {
+		// Fully incompatible data cannot occur with strictly positive P
+		// matrices; guard against pathological rounding anyway.
+		li = math.SmallestNonzeroFloat64
+	}
+	return math.Log(li) + float64(sc)*logMinLik
+}
+
 // SiteLogLikelihoods returns the per-pattern log likelihoods (unweighted) of
 // one partition at the canonical root; primarily a debugging and testing
-// aid. It routes every pattern through the same evalPattern kernel (and tip
-// table decision) as the parallel reduction, so it cannot drift from the
-// specialized path.
+// aid. It routes every pattern through the same evalSpanCtx kernel (layout
+// strides, tip table decision, clamp) as the parallel reduction, so it cannot
+// drift from the parallel path on any backend: the stride-aware generic body
+// and the fused body accumulate in the same order, so their site values are
+// bit-identical and one serial sweep serves every backend.
 func (e *Engine) SiteLogLikelihoods(ip int) []float64 {
 	root := e.Tree.Tips[0].Back
 	e.Traverse(root, false, nil)
 	q := root.Back
-	part := e.Data.Parts[ip]
-	out := make([]float64, part.PatternCount)
-	s := part.Type.States()
-	cats := e.numCats
-	cs := cats * s
-	m := e.Models[ip]
-	pm := make([]float64, cats*s*s)
-	m.PMatrices(root.Z[e.slotOf(ip)], pm)
-	base := e.clvBase[ip]
-	invCats := 1.0 / float64(cats)
-	pTip, qTip := root.IsTip(), q.IsTip()
-	if pTip && qTip {
+	if root.IsTip() && q.IsTip() {
 		panic("core: degenerate two-taxon tree")
 	}
-	var qTab []float64
-	if e.Specialize && qTip && part.PatternCount >= tipTableMinPatterns(part.Type) {
-		qTab = buildTipTable(make([]float64, alignment.NumCodes(part.Type)*cats*s), part.Type, pm, s, cats)
-	}
+	part := e.Data.Parts[ip]
+	out := make([]float64, part.PatternCount)
+	// Runs outside any region, so worker 0's scratch is free to borrow.
+	var c evalSpanCtx
+	e.prepareEvalSpan(&c, root, q, ip, 0, e.pmScratch[0][0])
+	c.ensureTable(part.PatternCount)
 	for j := 0; j < part.PatternCount; j++ {
 		i := part.Offset + j
-		off := base + j*cs
-		var xl, xr []float64
-		var qCode byte
-		var sc int32
-		if pTip {
-			xl = alignment.TipVector(part.Type, part.Tips[root.Index][j])
-		} else {
-			xl = e.clv(root.Index)[off : off+cs]
-			sc += e.scale(root.Index)[i]
-		}
-		switch {
-		case qTab != nil:
-			qCode = part.Tips[q.Index][j]
-		case qTip:
-			xr = alignment.TipVector(part.Type, part.Tips[q.Index][j])
-		default:
-			xr = e.clv(q.Index)[off : off+cs]
-		}
-		if !qTip {
-			sc += e.scale(q.Index)[i]
-		}
-		li := evalPattern(pm, m.Freqs, s, cats, xl, pTip, xr, qTip, qTab, qCode) * invCats
-		if li <= 0 || math.IsNaN(li) {
-			// Mirror evaluatePartition's clamp exactly: without it this debug
-			// path could emit -Inf/NaN site log likelihoods and drift from the
-			// parallel reduction it promises to reproduce.
-			li = math.SmallestNonzeroFloat64
-		}
-		out[j] = math.Log(li) + float64(sc)*logMinLik
+		out[j] = c.site(i, j, c.patternLi(j, c.base+j*c.patStride))
 	}
 	return out
 }

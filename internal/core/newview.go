@@ -95,18 +95,22 @@ func (e *Engine) newviewPartition(st tree.TraversalStep, ip, w int, pmQ, pmR []f
 }
 
 // nvSpanCtx is the per-(step, partition, worker) newview setup — transition
-// matrices, child CLV/tip bindings, and the optional tip lookup tables —
-// factored out of the pattern loop so that both execution models share one
-// kernel body: the precomputed-assignment path prepares once per worker and
-// span and processes the worker's whole share, while the work-stealing path
-// prepares once per (worker, span) encounter and processes one chunk at a
-// time (re-using the setup across consecutive chunks of the same span).
+// matrices, child CLV/tip bindings, layout strides, and the optional tip
+// lookup tables — factored out of the pattern loop so that both execution
+// models share one kernel body: the precomputed-assignment path prepares once
+// per worker and span and processes the worker's whole share, while the
+// work-stealing path prepares once per (worker, span) encounter and processes
+// one chunk at a time (re-using the setup across consecutive chunks of the
+// same span). The pattern loops themselves run in the backend implementation
+// bound at kern (see KernelBackend).
 type nvSpanCtx struct {
 	e          *Engine
 	ip, w      int
 	s, cats    int
 	cs         int
 	base       int
+	patStride  int // layout: offset between consecutive patterns
+	catStride  int // layout: offset between consecutive categories
 	partOffset int
 	dtype      alignment.DataType
 	dst        []float64
@@ -117,7 +121,7 @@ type nvSpanCtx struct {
 	qRow, rRow []byte
 	pmQ, pmR   []float64
 	tabQ, tabR []float64
-	fast4      bool
+	kern       KernelBackend
 	fixed      float64 // setup ops not yet claimed by takeOps
 }
 
@@ -135,11 +139,12 @@ func (e *Engine) prepareNewviewSpan(c *nvSpanCtx, st tree.TraversalStep, ip, w i
 	m.PMatrices(st.R.Z[slot], pmR[:cats*s*s])
 	*c = nvSpanCtx{
 		e: e, ip: ip, w: w, s: s, cats: cats, cs: cats * s,
-		base: e.clvBase[ip], partOffset: part.Offset, dtype: part.Type,
+		base: e.layout.Base(ip), patStride: e.layout.PatStride(ip), catStride: e.layout.CatStride(ip),
+		partOffset: part.Offset, dtype: part.Type,
 		dst: e.clv(st.P.Index), dstScale: e.scale(st.P.Index),
 		qTip: st.Q.IsTip(), rTip: st.R.IsTip(),
 		pmQ: pmQ, pmR: pmR,
-		fast4: e.Specialize && s == 4,
+		kern:  e.kernels[ip],
 		fixed: float64(2 * cats * s * s * s), // redundant per-worker P-matrix setup
 	}
 	if c.qTip {
@@ -186,179 +191,143 @@ func (c *nvSpanCtx) takeOps(count int) float64 {
 }
 
 // process executes the newview kernel over one pattern run and returns the
-// pattern count. The per-pattern body is identical whichever worker runs it
-// and however the run was sliced, which is what makes chunked (stolen) and
-// precomputed execution bit-identical.
+// pattern count, dispatching through the partition's backend. The per-pattern
+// arithmetic is identical whichever worker runs it and however the run was
+// sliced, which is what makes chunked (stolen) and precomputed execution
+// bit-identical.
 func (c *nvSpanCtx) process(run schedule.Run) int {
-	cs := c.cs
-	cats := c.cats
+	return c.kern.Newview(c, run)
+}
+
+// processGeneric is the layout-aware generic newview body: per pattern,
+// dst[off + cat·catStride + a] =
+// (sum_b Pq_c[a][b] xq_c[b]) · (sum_b Pr_c[a][b] xr_c[b]), with a tip child's
+// P application replaced by a table-row read when a lookup table is built.
+// Tip children without tables supply a single category-independent 0/1
+// vector. Under the pattern-major layout this executes the seed kernel's
+// exact operation sequence; under the cat-major layout only the addresses
+// change, so the two layouts (and the fused kernels, which preserve the same
+// left-associated accumulation order) produce bit-identical CLVs.
+func (c *nvSpanCtx) processGeneric(run schedule.Run) int {
+	s, cs, cats := c.s, c.cs, c.cats
+	ss := s * s
 	count := 0
 	for i := run.Lo; i < run.Hi; i += run.Step {
 		j := i - c.partOffset
-		off := c.base + j*cs
-		d := c.dst[off : off+cs]
+		off := c.base + j*c.patStride
 		switch {
 		case c.tabQ != nil && c.tabR != nil:
-			newviewPatternTipTip(d, c.tabQ[int(c.qRow[j])*cs:int(c.qRow[j])*cs+cs], c.tabR[int(c.rRow[j])*cs:int(c.rRow[j])*cs+cs])
-		case c.tabQ != nil:
+			// Both children specialized tips: the table rows already hold the
+			// P applications; the pattern reduces to their entrywise product.
 			tq := c.tabQ[int(c.qRow[j])*cs : int(c.qRow[j])*cs+cs]
-			if c.fast4 {
-				newviewPatternTipInner4(d, tq, c.rv[off:off+cs], c.pmR, cats)
-			} else {
-				newviewPatternTipInner(d, tq, c.rv[off:off+cs], c.pmR, cats, c.s)
-			}
-		case c.tabR != nil:
 			tr := c.tabR[int(c.rRow[j])*cs : int(c.rRow[j])*cs+cs]
-			if c.fast4 {
-				newviewPatternTipInner4(d, tr, c.qv[off:off+cs], c.pmQ, cats)
-			} else {
-				newviewPatternTipInner(d, tr, c.qv[off:off+cs], c.pmQ, cats, c.s)
+			for cat := 0; cat < cats; cat++ {
+				co := off + cat*c.catStride
+				d := c.dst[co : co+s]
+				t1 := tq[cat*s : cat*s+s]
+				t2 := tr[cat*s : cat*s+s]
+				for a := 0; a < s; a++ {
+					d[a] = t1[a] * t2[a]
+				}
+			}
+		case c.tabQ != nil, c.tabR != nil:
+			// Exactly one specialized tip child (a tip the table decision
+			// skipped never coexists with a built sibling table — ensureTables
+			// builds both or neither); the inner child pays the P application.
+			tab, row, xv, pm := c.tabQ, c.qRow, c.rv, c.pmR
+			if c.tabR != nil {
+				tab, row, xv, pm = c.tabR, c.rRow, c.qv, c.pmQ
+			}
+			tq := tab[int(row[j])*cs : int(row[j])*cs+cs]
+			for cat := 0; cat < cats; cat++ {
+				p := pm[cat*ss : (cat+1)*ss]
+				co := off + cat*c.catStride
+				cr := xv[co : co+s]
+				t := tq[cat*s : cat*s+s]
+				d := c.dst[co : co+s]
+				for a := 0; a < s; a++ {
+					r := a * s
+					sr := 0.0
+					for b := 0; b < s; b++ {
+						sr += p[r+b] * cr[b]
+					}
+					d[a] = t[a] * sr
+				}
 			}
 		default:
-			var xq, xr []float64
+			var tvq, tvr []float64
 			if c.qTip {
-				xq = alignment.TipVector(c.dtype, c.qRow[j])
-			} else {
-				xq = c.qv[off : off+cs]
+				tvq = alignment.TipVector(c.dtype, c.qRow[j])
 			}
 			if c.rTip {
-				xr = alignment.TipVector(c.dtype, c.rRow[j])
-			} else {
-				xr = c.rv[off : off+cs]
+				tvr = alignment.TipVector(c.dtype, c.rRow[j])
 			}
-			if c.fast4 {
-				newviewPattern4(d, xq, xr, c.qTip, c.rTip, c.pmQ, c.pmR, cats)
-			} else {
-				newviewPatternGeneric(d, xq, xr, c.qTip, c.rTip, c.pmQ, c.pmR, cats, c.s)
+			for cat := 0; cat < cats; cat++ {
+				pq := c.pmQ[cat*ss : (cat+1)*ss]
+				pr := c.pmR[cat*ss : (cat+1)*ss]
+				co := off + cat*c.catStride
+				cq := tvq
+				if !c.qTip {
+					cq = c.qv[co : co+s]
+				}
+				cr := tvr
+				if !c.rTip {
+					cr = c.rv[co : co+s]
+				}
+				d := c.dst[co : co+s]
+				for a := 0; a < s; a++ {
+					r := a * s
+					sq, sr := 0.0, 0.0
+					for b := 0; b < s; b++ {
+						sq += pq[r+b] * cq[b]
+						sr += pr[r+b] * cr[b]
+					}
+					d[a] = sq * sr
+				}
 			}
 		}
-		// Numerical scaling: when every entry of the pattern's CLV drops
-		// below the threshold, multiply the whole pattern by 2^256 and
-		// remember the exponent.
-		sc := int32(0)
-		if !c.qTip {
-			sc += c.qs[i]
-		}
-		if !c.rTip {
-			sc += c.rs[i]
-		}
-		needScale := true
-		for k := 0; k < cs; k++ {
-			if d[k] >= minLikelihood || d[k] <= -minLikelihood {
-				needScale = false
-				break
-			}
-		}
-		if needScale {
-			for k := 0; k < cs; k++ {
-				d[k] *= twoTo256
-			}
-			sc++
-		}
-		c.dstScale[i] = sc
+		c.finishPattern(i, off)
 		count++
 	}
 	return count
 }
 
-// newviewPatternGeneric computes one pattern's CLV for an arbitrary state
-// count: dst[c*s+a] = (sum_b Pq_c[a][b] xq_c[b]) * (sum_b Pr_c[a][b] xr_c[b]).
-// Tip children supply a single category-independent 0/1 vector.
-func newviewPatternGeneric(dst, xq, xr []float64, qTip, rTip bool, pmQ, pmR []float64, cats, s int) {
-	ss := s * s
-	for c := 0; c < cats; c++ {
-		pq := pmQ[c*ss : (c+1)*ss]
-		pr := pmR[c*ss : (c+1)*ss]
-		cq := xq
-		if !qTip {
-			cq = xq[c*s : (c+1)*s]
-		}
-		cr := xr
-		if !rTip {
-			cr = xr[c*s : (c+1)*s]
-		}
-		d := dst[c*s : (c+1)*s]
-		for a := 0; a < s; a++ {
-			row := a * s
-			sq, sr := 0.0, 0.0
-			for b := 0; b < s; b++ {
-				sq += pq[row+b] * cq[b]
-				sr += pr[row+b] * cr[b]
+// finishPattern applies the numerical scaling step to one freshly computed
+// pattern: propagate the children's scaling exponents and, when every entry
+// of the pattern's CLV drops below the threshold, multiply the whole pattern
+// by 2^256 and increment the exponent. The predicate scans entries in (cat
+// asc, state asc) order under either layout; it is order-independent anyway
+// (all entries must be small), and the multiplication touches every entry, so
+// scaling is layout- and backend-invariant.
+func (c *nvSpanCtx) finishPattern(i, off int) {
+	sc := int32(0)
+	if !c.qTip {
+		sc += c.qs[i]
+	}
+	if !c.rTip {
+		sc += c.rs[i]
+	}
+	needScale := true
+outer:
+	for cat := 0; cat < c.cats; cat++ {
+		co := off + cat*c.catStride
+		d := c.dst[co : co+c.s]
+		for _, v := range d {
+			if v >= minLikelihood || v <= -minLikelihood {
+				needScale = false
+				break outer
 			}
-			d[a] = sq * sr
 		}
 	}
-}
-
-// newviewPatternTipTip computes one pattern's CLV when both children are
-// specialized tips: the two table rows already hold the P applications, so
-// the pattern reduces to their entrywise product over all cats×s entries.
-func newviewPatternTipTip(dst, tq, tr []float64) {
-	_ = dst[len(tq)-1]
-	for k := range tq {
-		dst[k] = tq[k] * tr[k]
-	}
-}
-
-// newviewPatternTipInner computes one pattern's CLV when exactly one child
-// is a specialized tip (table row tq) and the other an inner CLV xr behind
-// transition matrices pm.
-func newviewPatternTipInner(dst, tq, xr, pm []float64, cats, s int) {
-	ss := s * s
-	for c := 0; c < cats; c++ {
-		p := pm[c*ss : (c+1)*ss]
-		cr := xr[c*s : (c+1)*s]
-		t := tq[c*s : (c+1)*s]
-		d := dst[c*s : (c+1)*s]
-		for a := 0; a < s; a++ {
-			row := a * s
-			sr := 0.0
-			for b := 0; b < s; b++ {
-				sr += p[row+b] * cr[b]
+	if needScale {
+		for cat := 0; cat < c.cats; cat++ {
+			co := off + cat*c.catStride
+			d := c.dst[co : co+c.s]
+			for k := range d {
+				d[k] *= twoTo256
 			}
-			d[a] = t[a] * sr
 		}
+		sc++
 	}
-}
-
-// newviewPatternTipInner4 is the unrolled 4-state tip/inner kernel.
-func newviewPatternTipInner4(dst, tq, xr, pm []float64, cats int) {
-	for c := 0; c < cats; c++ {
-		p := pm[c*16 : c*16+16]
-		cr := xr[c*4 : c*4+4]
-		r0, r1, r2, r3 := cr[0], cr[1], cr[2], cr[3]
-		t := tq[c*4 : c*4+4]
-		d := dst[c*4 : c*4+4]
-		d[0] = t[0] * (p[0]*r0 + p[1]*r1 + p[2]*r2 + p[3]*r3)
-		d[1] = t[1] * (p[4]*r0 + p[5]*r1 + p[6]*r2 + p[7]*r3)
-		d[2] = t[2] * (p[8]*r0 + p[9]*r1 + p[10]*r2 + p[11]*r3)
-		d[3] = t[3] * (p[12]*r0 + p[13]*r1 + p[14]*r2 + p[15]*r3)
-	}
-}
-
-// newviewPattern4 is the unrolled 4-state (DNA) kernel.
-func newviewPattern4(dst, xq, xr []float64, qTip, rTip bool, pmQ, pmR []float64, cats int) {
-	for c := 0; c < cats; c++ {
-		pq := pmQ[c*16 : c*16+16]
-		pr := pmR[c*16 : c*16+16]
-		cq := xq
-		if !qTip {
-			cq = xq[c*4 : c*4+4]
-		}
-		cr := xr
-		if !rTip {
-			cr = xr[c*4 : c*4+4]
-		}
-		q0, q1, q2, q3 := cq[0], cq[1], cq[2], cq[3]
-		r0, r1, r2, r3 := cr[0], cr[1], cr[2], cr[3]
-		d := dst[c*4 : c*4+4]
-		d[0] = (pq[0]*q0 + pq[1]*q1 + pq[2]*q2 + pq[3]*q3) *
-			(pr[0]*r0 + pr[1]*r1 + pr[2]*r2 + pr[3]*r3)
-		d[1] = (pq[4]*q0 + pq[5]*q1 + pq[6]*q2 + pq[7]*q3) *
-			(pr[4]*r0 + pr[5]*r1 + pr[6]*r2 + pr[7]*r3)
-		d[2] = (pq[8]*q0 + pq[9]*q1 + pq[10]*q2 + pq[11]*q3) *
-			(pr[8]*r0 + pr[9]*r1 + pr[10]*r2 + pr[11]*r3)
-		d[3] = (pq[12]*q0 + pq[13]*q1 + pq[14]*q2 + pq[15]*q3) *
-			(pr[12]*r0 + pr[13]*r1 + pr[14]*r2 + pr[15]*r3)
-	}
+	c.dstScale[i] = sc
 }

@@ -12,6 +12,13 @@ package core
 // per pattern) while an inner child pays a full P-matrix application (O(s²)),
 // so charging both the same would misprice tip-adjacent patterns in both the
 // runtime Ops counters and the weighted schedule's span costs.
+//
+// The costs are deliberately backend-invariant: the generic and fused kernel
+// backends perform the same multiply-adds per pattern (the fused backend
+// merely retires them faster over its cat-major layout), so pricing work in
+// madd units keeps Ops counters and span costs comparable across backends —
+// a schedule packed for one backend balances the other equally well, and the
+// virtual platform model needs no per-backend calibration.
 
 // opsNewviewCase is the per-pattern cost of one newview step given each
 // child's kind: an inner child costs a full P application (s² madds), a

@@ -50,15 +50,16 @@ func (h *ScheduleHolder) publish(s *schedule.Schedule) {
 }
 
 // Shared is the immutable, session-independent half of the likelihood
-// engine: the compressed alignment, the CLV/sumtable memory layout derived
-// from it, the per-pattern op-cost spans, and the per-strategy schedule
-// holders. All of this is fixed per dataset — the paper's point is that
-// it is built once and amortized over many likelihood evaluations — so one
-// Shared can back any number of concurrent session engines (see NewSession)
-// without synchronization on the hot path: every field is read-only after
-// construction except the holder map (own mutex, lazily populated) and the
-// measured holder's current schedule, which RebalanceMeasured swaps
-// atomically (sessions only observe the swap at region boundaries).
+// engine: the compressed alignment, the kernel backend and the CLV/sumtable
+// memory layout derived from it, the per-pattern op-cost spans, and the
+// per-strategy schedule holders. All of this is fixed per dataset — the
+// paper's point is that it is built once and amortized over many likelihood
+// evaluations — so one Shared can back any number of concurrent session
+// engines (see NewSession) without synchronization on the hot path: every
+// field is read-only after construction except the holder map (own mutex,
+// lazily populated) and the measured holder's current schedule, which
+// RebalanceMeasured swaps atomically (sessions only observe the swap at
+// region boundaries).
 type Shared struct {
 	// Data is the compressed alignment (patterns, weights, tip encodings).
 	Data *alignment.CompressedData
@@ -67,13 +68,13 @@ type Shared struct {
 	// Threads is the worker count the schedules are computed for; every
 	// session executor must run exactly this many workers.
 	Threads int
+	// Backend is the resolved kernel backend (never BackendAuto); it fixes
+	// the CLV layout below, so every session over this Shared runs it.
+	Backend Backend
 
 	maxS     int
-	maxCodes int   // widest tip-code alphabet across partitions (16 or 23)
-	clvBase  []int // per partition: offset into a CLV buffer
-	clvLen   int   // total CLV floats per inner node
-	sumBase  []int // per partition: offset into the sumtable workspace
-	sumLen   int   // total sumtable floats
+	maxCodes int        // widest tip-code alphabet across partitions (16 or 23)
+	layout   *CLVLayout // backend-derived CLV/sumtable geometry
 
 	spans []schedule.Span // per-partition pattern ranges with op costs
 
@@ -81,10 +82,19 @@ type Shared struct {
 	holders map[schedule.Strategy]*ScheduleHolder
 }
 
-// NewShared computes the session-independent engine state for one dataset:
-// memory layout offsets and the cost-annotated pattern spans that price the
-// weighted schedule. This is the expensive-once part of engine construction.
+// NewShared computes the session-independent engine state for one dataset
+// under the default (auto-resolved) kernel backend: memory layout offsets and
+// the cost-annotated pattern spans that price the weighted schedule. This is
+// the expensive-once part of engine construction.
 func NewShared(data *alignment.CompressedData, numCats, threads int) (*Shared, error) {
+	return NewSharedWith(data, numCats, threads, BackendAuto)
+}
+
+// NewSharedWith is NewShared with an explicit kernel backend. The backend is
+// resolved here (BackendAuto consults PLK_BACKEND, then defaults to
+// BackendFused) and determines the CLV layout the sessions' buffers and
+// kernels use; it cannot change for the lifetime of the Shared.
+func NewSharedWith(data *alignment.CompressedData, numCats, threads int, backend Backend) (*Shared, error) {
 	if data == nil {
 		return nil, errors.New("core: nil dataset")
 	}
@@ -94,23 +104,22 @@ func NewShared(data *alignment.CompressedData, numCats, threads int) (*Shared, e
 	if threads < 1 {
 		return nil, fmt.Errorf("core: thread count %d must be positive", threads)
 	}
+	resolved, err := resolveBackend(backend)
+	if err != nil {
+		return nil, err
+	}
 	sh := &Shared{
 		Data:    data,
 		NumCats: numCats,
 		Threads: threads,
+		Backend: resolved,
 		maxS:    data.MaxStates(),
-		clvBase: make([]int, len(data.Parts)),
-		sumBase: make([]int, len(data.Parts)),
+		layout:  newCLVLayout(data.Parts, numCats, layoutKindFor(resolved)),
 		spans:   make([]schedule.Span, len(data.Parts)),
 		holders: make(map[schedule.Strategy]*ScheduleHolder),
 	}
-	off, soff := 0, 0
 	tipFrac := tipChildFrac(data.NumTaxa())
 	for i, p := range data.Parts {
-		sh.clvBase[i] = off
-		sh.sumBase[i] = soff
-		off += p.PatternCount * numCats * p.Type.States()
-		soff += p.PatternCount * numCats * p.Type.States()
 		if c := alignment.NumCodes(p.Type); c > sh.maxCodes {
 			sh.maxCodes = c
 		}
@@ -121,13 +130,17 @@ func NewShared(data *alignment.CompressedData, numCats, threads int) (*Shared, e
 		// cost: tip children are table-row reads (O(s)), inner children full
 		// P applications (O(s²)), mixed at the tree-shape-invariant tip
 		// fraction — charging every child s² would overprice tip-adjacent
-		// patterns now that the kernels specialize them.
+		// patterns now that the kernels specialize them. Costs are measured in
+		// madd units and deliberately backend-invariant: the fused backend
+		// performs the same madds faster, which rescales every span equally
+		// and leaves the relative weights the schedules pack by unchanged.
 		sh.spans[i] = schedule.Span{Lo: p.Offset, Hi: p.End(), Cost: opsNewviewAvg(p.Type.States(), numCats, tipFrac)}
 	}
-	sh.clvLen = off
-	sh.sumLen = soff
 	return sh, nil
 }
+
+// Layout exposes the backend-derived CLV/sumtable geometry (read-only).
+func (sh *Shared) Layout() *CLVLayout { return sh.layout }
 
 // HolderFor returns the versioned schedule holder for a strategy, building
 // the strategy's initial schedule on first use; concurrent sessions share

@@ -18,6 +18,15 @@ import (
 // O(cats·s) table-row read. The tables accumulate in exactly the same
 // b-ascending order as the generic kernels, so specialized and generic
 // results are bit-for-bit identical.
+//
+// The tables keep their own code-major geometry — row (code·cats + c)·s —
+// under every kernel backend: rows are indexed by tip code, not pattern, so
+// the CLV layout does not apply to them. Both the pattern-major generic
+// bodies and the cat-major fused bodies read the same rows (the fused
+// kernels at a per-category offset of cat·s within the row), which is what
+// lets one build serve both and keeps tip specialization orthogonal to the
+// backend choice. The per-worker table scratch is cache-line-aligned like
+// every other hot buffer (see alignedFloats).
 
 // tipTableMinPatterns is the minimum per-worker pattern share for which
 // building a lookup table beats per-pattern tip-vector expansion: the build

@@ -45,6 +45,7 @@ import (
 	"os"
 
 	"phylo/internal/alignment"
+	"phylo/internal/core"
 	"phylo/internal/opt"
 	"phylo/internal/schedule"
 	"phylo/internal/seqsim"
@@ -101,6 +102,28 @@ const (
 // ParseScheduleStrategy resolves "cyclic", "block", "weighted", or
 // "measured"/"adaptive".
 func ParseScheduleStrategy(name string) (ScheduleStrategy, error) { return schedule.Parse(name) }
+
+// KernelBackend selects the likelihood kernel implementation and its CLV
+// memory layout (see internal/core). All backends produce bit-identical
+// likelihoods, site likelihoods, and branch derivatives.
+type KernelBackend = core.Backend
+
+// Kernel backends.
+const (
+	// BackendAuto resolves to the PLK_BACKEND environment variable when set
+	// and to BackendFused otherwise (the default).
+	BackendAuto = core.BackendAuto
+	// BackendGeneric is the pattern-major reference path — the bit-exactness
+	// oracle the fused backend is tested against.
+	BackendGeneric = core.BackendGeneric
+	// BackendFused uses a category-major, state-contiguous, cache-line-aligned
+	// CLV layout with fully unrolled 4-state DNA kernels; 20-state partitions
+	// run a layout-aware generic loop.
+	BackendFused = core.BackendFused
+)
+
+// ParseKernelBackend resolves "auto", "generic", or "fused"/"vectorized".
+func ParseKernelBackend(name string) (KernelBackend, error) { return core.ParseBackend(name) }
 
 // Alignment is a multiple sequence alignment plus its partition scheme.
 type Alignment struct {
