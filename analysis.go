@@ -428,6 +428,33 @@ func (an *Analysis) TreeNewickForPartition(k int) (string, error) {
 	return tree.WriteNewick(an.tr, an.eng.BranchSlot(k)), nil
 }
 
+// SetAlpha overrides the Gamma shape parameter of one partition (or of every
+// partition when partition is negative) and invalidates the session's CLVs so
+// the next evaluation reflects the new rates. It is the "model" knob of an
+// evaluate request in the serving layer: a session opened from the dataset's
+// model templates can be repointed at a caller-specified alpha without
+// running the optimizer. Like every Analysis method it must not be called
+// concurrently with another method of the same session.
+func (an *Analysis) SetAlpha(partition int, alpha float64) error {
+	if err := an.guard(); err != nil {
+		return err
+	}
+	if partition >= an.eng.NumPartitions() {
+		return fmt.Errorf("phylo: partition %d out of range", partition)
+	}
+	lo, hi := partition, partition+1
+	if partition < 0 {
+		lo, hi = 0, an.eng.NumPartitions()
+	}
+	for k := lo; k < hi; k++ {
+		if err := an.eng.Models[k].SetAlpha(alpha); err != nil {
+			return err
+		}
+	}
+	an.eng.InvalidateCLVs()
+	return nil
+}
+
 // Alpha returns the optimized Gamma shape parameter of a partition.
 func (an *Analysis) Alpha(partition int) (float64, error) {
 	if err := an.guard(); err != nil {

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 
 	"phylo/internal/bench"
 	"phylo/internal/core"
+	"phylo/internal/sigctx"
 )
 
 func main() {
@@ -84,6 +86,12 @@ func main() {
 		}()
 	}
 
+	// First Ctrl-C cancels the measurement between benchmark sections; a
+	// second hard-exits with a non-zero status instead of hanging on a
+	// section already in flight.
+	ctx, stop := sigctx.Notify(context.Background(), "plkbench")
+	defer stop()
+
 	var rep *bench.MicrobenchReport
 	if *compare != "" {
 		rep = readReport(*compare)
@@ -97,7 +105,7 @@ func main() {
 			counts = append(counts, t)
 		}
 		var err error
-		rep, err = bench.Microbench(counts, *scale, *seed)
+		rep, err = bench.Microbench(ctx, counts, *scale, *seed)
 		if err != nil {
 			fatal(err)
 		}
@@ -164,6 +172,10 @@ func writeReport(rep *bench.MicrobenchReport, out string) {
 	}
 	if rep.Backend != "" {
 		fmt.Printf("active kernel backend: %s\n", rep.Backend)
+	}
+	if rep.DatasetBytes > 0 {
+		fmt.Printf("dataset memory footprint: %.2f MiB (shared state + one session)\n",
+			float64(rep.DatasetBytes)/(1<<20))
 	}
 	fmt.Printf("wrote %s\n", out)
 }

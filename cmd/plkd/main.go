@@ -1,0 +1,123 @@
+// Command plkd serves the phylogenetic likelihood kernel over HTTP: submit
+// an alignment once, get a dataset handle backed by the daemon's
+// ref-counted, byte-budgeted LRU cache, then evaluate trees and run
+// analyses against it. Identical concurrent evaluates coalesce onto one
+// kernel run; per-tenant admission control (X-Tenant header) bounds each
+// tenant's in-flight work; analysis progress streams over SSE with bounded,
+// drop-oldest buffers.
+//
+// SIGTERM (or one Ctrl-C) drains: new work is rejected with 503 while
+// in-flight analyses finish, bounded by -drain-timeout, after which they
+// are cancelled at their next synchronization-region boundary. A second
+// signal exits immediately with a non-zero status.
+//
+// Examples:
+//
+//	plkd -addr 127.0.0.1:8149 -threads 8 -cache-mb 2048
+//	plkd -addr 127.0.0.1:0 -addr-file /tmp/plkd.addr   # pick a free port, publish it
+//
+//	curl -s --data-binary @data.phy 'localhost:8149/v1/datasets?data_type=dna'
+//	curl -s localhost:8149/v1/evaluate -H 'Content-Type: application/json' \
+//	     -d '{"dataset":"ds_...","seed":42}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"phylo"
+	"phylo/internal/server"
+	"phylo/internal/sigctx"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8149", "listen address (port 0 picks a free port)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
+		threads    = flag.Int("threads", 1, "worker count every dataset is built for")
+		schedFlag  = flag.String("schedule", "weighted", "pattern-to-worker assignment: cyclic | block | weighted | adaptive")
+		stealFlag  = flag.Bool("steal", false, "intra-region work stealing on every dataset")
+		backendF   = flag.String("backend", "auto", "likelihood kernel backend: auto | generic | fused")
+		cats       = flag.Int("cats", 4, "discrete-Gamma category count")
+		cacheMB    = flag.Int64("cache-mb", 512, "dataset cache budget in MiB (<0 = unbounded)")
+		tenantInfl = flag.Int("tenant-inflight", 2, "per-tenant in-flight work-item quota")
+		tenantQ    = flag.Int("tenant-queue", 16, "per-tenant admission queue capacity (0 = fail fast)")
+		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits before cancelling in-flight analyses")
+	)
+	flag.Parse()
+	if err := run(*addr, *addrFile, server.Config{
+		Threads:         *threads,
+		Steal:           *stealFlag,
+		GammaCategories: *cats,
+		CacheBytes:      *cacheMB << 20,
+		TenantInflight:  *tenantInfl,
+		TenantQueue:     *tenantQ,
+	}, *schedFlag, *backendF, *drainTO); err != nil {
+		fmt.Fprintln(os.Stderr, "plkd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, addrFile string, cfg server.Config, schedName, backendName string, drainTO time.Duration) error {
+	strat, err := phylo.ParseScheduleStrategy(schedName)
+	if err != nil {
+		return err
+	}
+	cfg.Schedule = strat
+	backend, err := phylo.ParseKernelBackend(backendName)
+	if err != nil {
+		return err
+	}
+	cfg.Backend = backend
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	srv := server.New(cfg)
+	hs := &http.Server{Handler: srv}
+
+	ctx, stop := sigctx.Notify(context.Background(), "plkd")
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	fmt.Printf("plkd: listening on %s (threads=%d schedule=%s cache=%dMiB quota=%d/tenant)\n",
+		bound, cfg.Threads, schedName, cfg.CacheBytes>>20, cfg.TenantInflight)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting connections once in-flight requests finish,
+	// while the serving state drains analyses under its own deadline.
+	fmt.Println("plkd: draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTO)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "plkd: shutdown:", err)
+	}
+	if drainErr != nil {
+		fmt.Println("plkd: drain deadline passed; in-flight analyses were cancelled")
+	} else {
+		fmt.Println("plkd: drained cleanly")
+	}
+	return nil
+}

@@ -7,7 +7,8 @@
 // same dataset and verifies they agree — bit-for-bit for static schedules,
 // within reassociation tolerance for -schedule adaptive (whose sessions
 // rebalance independently). Ctrl-C cancels the run at the next
-// synchronization-region boundary and prints the partial result.
+// synchronization-region boundary and prints the partial result; a second
+// Ctrl-C exits immediately with a non-zero status.
 //
 // Examples:
 //
@@ -25,11 +26,11 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"os/signal"
 	"strings"
 	"sync"
 
 	"phylo"
+	"phylo/internal/sigctx"
 )
 
 func main() {
@@ -60,8 +61,9 @@ func main() {
 	flag.Parse()
 
 	// Ctrl-C cancels the analysis at the next synchronization-region
-	// boundary; the partial result is still printed.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// boundary; the partial result is still printed. A second Ctrl-C
+	// hard-exits with a non-zero status instead of hanging on a slow drain.
+	ctx, stop := sigctx.Notify(context.Background(), "plkrun")
 	defer stop()
 
 	al, err := loadAlignment(*alignPath, *partsPath, *grid, *real, *partLen, *scale, *seed)

@@ -199,3 +199,24 @@ func (ds *Dataset) TaxonNames() []string { return append([]string(nil), ds.names
 // Backend reports the resolved kernel backend every session over this
 // dataset runs (never BackendAuto).
 func (ds *Dataset) Backend() KernelBackend { return ds.shared.Backend }
+
+// MemoryFootprint is the itemized memory accounting of a Dataset: the
+// resident shared state (compressed alignment, schedules, layout) plus the
+// estimated allocation of one analysis session over it (CLVs, scaling
+// vectors, sumtable, per-worker scratch). See core.MemoryFootprint.
+type MemoryFootprint = core.MemoryFootprint
+
+// MemoryFootprint returns the dataset's estimated heap bytes: the resident
+// shared state plus one session's buffers — the price of keeping this
+// dataset cached and serving it. The likelihood-serving cache (internal/
+// server) evicts against this figure; plkbench reports it standalone. The
+// schedule term reflects the strategies built so far, so the figure can grow
+// slightly as sessions exercise new strategies.
+func (ds *Dataset) MemoryFootprint() int64 {
+	return ds.shared.MemoryFootprint().TotalBytes()
+}
+
+// MemoryBreakdown returns the itemized terms behind MemoryFootprint.
+func (ds *Dataset) MemoryBreakdown() MemoryFootprint {
+	return ds.shared.MemoryFootprint()
+}

@@ -1,0 +1,81 @@
+package phylo
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestDatasetCloseRacesSessions hammers Dataset.Close against concurrent
+// session traffic — NewAnalysis, LogLikelihood, OptimizeModel, Rebalance —
+// and checks the documented contract under the race detector: every call
+// either succeeds normally or fails with ErrDatasetClosed/ErrAnalysisClosed;
+// nothing panics, deadlocks, or returns a garbage error. This is the serving
+// daemon's eviction path in miniature: the cache closes a dataset while
+// late requests may still be opening sessions on it.
+func TestDatasetCloseRacesSessions(t *testing.T) {
+	for iter := 0; iter < 8; iter++ {
+		al, err := SimulateGrid(8, 128, 128, 1.0, int64(iter+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := NewDataset(al, DatasetOptions{Threads: 2, Schedule: ScheduleMeasured})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		check := func(err error) {
+			if err != nil && !errors.Is(err, ErrDatasetClosed) && !errors.Is(err, ErrAnalysisClosed) {
+				t.Errorf("unexpected error under Close race: %v", err)
+			}
+		}
+
+		// Session goroutines: open, evaluate, rebalance, optimize, close.
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				an, err := ds.NewAnalysis(AnalysisOptions{Seed: int64(g + 1)})
+				if err != nil {
+					check(err)
+					return
+				}
+				defer an.Close()
+				// LogLikelihood reports failure as NaN (the dataset may close
+				// mid-flight); any finite value must be a real score.
+				if lnl := an.LogLikelihood(); !math.IsNaN(lnl) && lnl >= 0 {
+					t.Errorf("garbage lnL %v", lnl)
+				}
+				_, err = an.Rebalance()
+				check(err)
+				_, err = an.OptimizeModel(context.Background())
+				check(err)
+			}(g)
+		}
+
+		// The closer: fires while the sessions are mid-flight. Close reports
+		// still-open sessions as a documented diagnostic; anything else it
+		// returns would be a bug.
+		checkClose := func(err error) {
+			if err != nil && !strings.Contains(err.Error(), "session(s) still open") {
+				t.Errorf("unexpected Close error: %v", err)
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			checkClose(ds.Close())
+		}()
+
+		close(start)
+		wg.Wait()
+		checkClose(ds.Close()) // idempotent
+	}
+}

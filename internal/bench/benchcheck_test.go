@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -196,7 +197,7 @@ func TestTipCaseSpeedupRecorded(t *testing.T) {
 	if testing.Short() {
 		t.Skip("microbenchmark run in -short mode")
 	}
-	rep, err := Microbench([]int{1}, 0.01, 42)
+	rep, err := Microbench(context.Background(), []int{1}, 0.01, 42)
 	if err != nil {
 		t.Fatal(err)
 	}

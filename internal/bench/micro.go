@@ -57,8 +57,13 @@ type MicrobenchReport struct {
 	Patterns   int    `json:"patterns"`
 	// Backend is the resolved kernel backend the Timings ran under (the
 	// session default: PLK_BACKEND or fused).
-	Backend string         `json:"backend,omitempty"`
-	Timings []KernelTiming `json:"timings"`
+	Backend string `json:"backend,omitempty"`
+	// DatasetBytes is the benchmark dataset's memory footprint (shared state
+	// plus one session's buffers; see core.Shared.MemoryFootprint) — the
+	// figure the serving layer's cache evicts against. Informational; never
+	// gated.
+	DatasetBytes int64          `json:"dataset_bytes,omitempty"`
+	Timings      []KernelTiming `json:"timings"`
 	// BackendDataset and BackendCase cover the generic-vs-fused newview
 	// microbenchmark: same dataset, same schedule, both kernel backends on
 	// the same commit. CompareReports enforces an absolute speedup floor at
@@ -111,8 +116,9 @@ type StealMicrobench struct {
 // goroutine pool at each requested thread count. One immutable core.Shared
 // is reused across sessions per thread count, exactly as the public
 // Dataset/Analysis API does. Uses testing.Benchmark, so each timing is
-// iterated until statistically stable.
-func Microbench(threadCounts []int, scale float64, seed int64) (*MicrobenchReport, error) {
+// iterated until statistically stable. Cancelling ctx stops the run between
+// sections (each individual timing is short); the error is ctx's.
+func Microbench(ctx context.Context, threadCounts []int, scale float64, seed int64) (*MicrobenchReport, error) {
 	ds, err := seqsim.GridDataset(20, 20000, 1000, scale, seed)
 	if err != nil {
 		return nil, err
@@ -138,6 +144,9 @@ func Microbench(threadCounts []int, scale float64, seed int64) (*MicrobenchRepor
 		if t < 1 {
 			return nil, fmt.Errorf("bench: thread count %d must be positive", t)
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pool, err := parallel.NewPool(t)
 		if err != nil {
 			return nil, err
@@ -146,6 +155,9 @@ func Microbench(threadCounts []int, scale float64, seed int64) (*MicrobenchRepor
 		if err != nil {
 			pool.Close()
 			return nil, err
+		}
+		if rep.DatasetBytes == 0 {
+			rep.DatasetBytes = sh.MemoryFootprint().TotalBytes()
 		}
 		tr, err := tree.Random(ds.Alignment.Names, len(d.Parts), tree.RandomOptions{Seed: seed + 1})
 		if err != nil {
@@ -178,10 +190,19 @@ func Microbench(threadCounts []int, scale float64, seed int64) (*MicrobenchRepor
 			NewviewNsOp:  float64(nvRes.NsPerOp()),
 		})
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := tipCaseBench(rep, threadCounts, seed); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := backendBench(rep, threadCounts, seed); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if err := stealBench(rep, threadCounts, scale, seed); err != nil {
@@ -191,14 +212,14 @@ func Microbench(threadCounts []int, scale float64, seed int64) (*MicrobenchRepor
 	// vs weighted vs adaptive end-state imbalance on the mispriced mixed
 	// workload, at the caller's scale (the experiment itself is defined at 8
 	// virtual workers, like the paper's 8-thread figures).
-	comp, _, err := adaptiveComparisonRun(context.Background(), FigureConfig{Scale: scale, Seed: seed})
+	comp, _, err := adaptiveComparisonRun(ctx, FigureConfig{Scale: scale, Seed: seed})
 	if err != nil {
 		return nil, err
 	}
 	rep.ScheduleComparison = comp
 	// And the stealing counterpart: static weighted vs weighted+steal
 	// end-state time imbalance on the same mispriced workload.
-	stealComp, _, err := stealComparisonRun(context.Background(), FigureConfig{Scale: scale, Seed: seed})
+	stealComp, _, err := stealComparisonRun(ctx, FigureConfig{Scale: scale, Seed: seed})
 	if err != nil {
 		return nil, err
 	}

@@ -263,6 +263,19 @@ func (s *Schedule) WorkerRuns(w int) []Run {
 	return out
 }
 
+// MemoryBytes estimates the schedule's resident heap bytes: the span table
+// plus every worker's per-span run lists. Used by the dataset memory
+// accounting that prices cache eviction in the serving layer.
+func (s *Schedule) MemoryBytes() int64 {
+	total := 24 * int64(len(s.spans)) // Span{Lo, Hi int; Cost float64}
+	for w := range s.runs {
+		for _, runs := range s.runs[w] {
+			total += 24 * int64(len(runs)) // Run{Lo, Hi, Step int}
+		}
+	}
+	return total
+}
+
 // Count returns how many patterns of span sp worker w owns.
 func (s *Schedule) Count(w, sp int) int {
 	n := 0

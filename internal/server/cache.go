@@ -1,0 +1,353 @@
+package server
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"phylo"
+)
+
+// Errors returned by the dataset cache. Use errors.Is to test.
+var (
+	// ErrDatasetNotCached is returned when a request names a dataset handle
+	// that is no longer (or never was) resident; the client must resubmit
+	// the alignment.
+	ErrDatasetNotCached = errors.New("server: dataset not cached (resubmit the alignment)")
+	// ErrDatasetBusy is returned by Remove for a dataset with live
+	// references.
+	ErrDatasetBusy = errors.New("server: dataset has in-flight work")
+	// ErrCacheClosed is returned once the cache has been shut down.
+	ErrCacheClosed = errors.New("server: dataset cache closed")
+)
+
+// DatasetInfo is the client-visible description of one cached dataset.
+type DatasetInfo struct {
+	ID          string `json:"id"`
+	Taxa        int    `json:"taxa"`
+	Sites       int    `json:"sites"`
+	Patterns    int    `json:"patterns"`
+	Partitions  int    `json:"partitions"`
+	MemoryBytes int64  `json:"memory_bytes"`
+	Refs        int    `json:"refs"`
+}
+
+// cacheEntry is one resident dataset: the handle id (alignment digest), the
+// built Dataset, its byte price, the live reference count, and its position
+// in the LRU list (only unreferenced entries are listed — an entry with
+// in-flight work is pinned and cannot be evicted).
+type cacheEntry struct {
+	id    string
+	ds    *phylo.Dataset
+	bytes int64
+	refs  int
+	lru   *list.Element // nil while refs > 0
+
+	// Build synchronization: concurrent submits of the same alignment build
+	// once; latecomers block on ready and observe err.
+	ready chan struct{}
+	err   error
+}
+
+// DatasetCache is the daemon's ref-counted dataset cache: immutable
+// phylo.Datasets keyed by alignment digest, priced by
+// Dataset.MemoryFootprint, evicted least-recently-used against a byte
+// budget. Referenced entries are never evicted — a dataset with in-flight
+// analyses is pinned until every handle is released — and concurrent
+// submissions of the same alignment coalesce onto one build.
+type DatasetCache struct {
+	budget int64
+
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	lru     *list.List // unreferenced entries, front = most recently used
+	bytes   int64      // total price of resident, fully built entries
+	closed  bool
+
+	hits, misses, evictions int64
+}
+
+// NewDatasetCache creates a cache with the given byte budget. A budget <= 0
+// means unbounded (nothing is ever evicted for size).
+func NewDatasetCache(budget int64) *DatasetCache {
+	return &DatasetCache{
+		budget:  budget,
+		entries: make(map[string]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// CachedDataset is a live reference to a cache entry. The dataset is pinned
+// (never evicted) until Release; Release is idempotent.
+type CachedDataset struct {
+	c     *DatasetCache
+	e     *cacheEntry
+	once  sync.Once
+	onRel func()
+}
+
+// ID returns the dataset handle (the alignment digest).
+func (h *CachedDataset) ID() string { return h.e.id }
+
+// Dataset returns the pinned dataset.
+func (h *CachedDataset) Dataset() *phylo.Dataset { return h.e.ds }
+
+// Bytes returns the entry's cache price.
+func (h *CachedDataset) Bytes() int64 { return h.e.bytes }
+
+// Release drops this reference. When the last reference goes, the entry
+// becomes eligible for LRU eviction (it stays resident until the budget
+// forces it out).
+func (h *CachedDataset) Release() {
+	h.once.Do(func() {
+		h.c.release(h.e)
+		if h.onRel != nil {
+			h.onRel()
+		}
+	})
+}
+
+// Acquire returns a pinned reference to the dataset with the given id,
+// building it with build on a miss. Concurrent Acquires of one id share a
+// single build; if the build fails every waiter sees the error and the slot
+// is cleared so a later submit can retry. The returned handle must be
+// Released.
+func (c *DatasetCache) Acquire(id string, build func() (*phylo.Dataset, error)) (*CachedDataset, bool, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, false, ErrCacheClosed
+	}
+	if e, ok := c.entries[id]; ok {
+		c.ref(e)
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			// The build we latched onto failed; the builder already removed
+			// the entry. Surface its error.
+			c.release(e)
+			return nil, false, e.err
+		}
+		return &CachedDataset{c: c, e: e}, true, nil
+	}
+	e := &cacheEntry{id: id, refs: 1, ready: make(chan struct{})}
+	c.entries[id] = e
+	c.misses++
+	c.mu.Unlock()
+
+	ds, err := build()
+	c.mu.Lock()
+	if err == nil && c.closed {
+		err = ErrCacheClosed
+		ds.Close()
+		ds = nil
+	}
+	if err != nil {
+		e.err = err
+		delete(c.entries, id)
+		c.mu.Unlock()
+		close(e.ready)
+		return nil, false, err
+	}
+	e.ds = ds
+	e.bytes = ds.MemoryFootprint()
+	c.bytes += e.bytes
+	victims := c.evictLocked()
+	c.mu.Unlock()
+	close(e.ready)
+	closeAll(victims)
+	return &CachedDataset{c: c, e: e}, false, nil
+}
+
+// Ref returns a pinned reference to an already-resident dataset, or
+// ErrDatasetNotCached. It never builds.
+func (c *DatasetCache) Ref(id string) (*CachedDataset, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrCacheClosed
+	}
+	e, ok := c.entries[id]
+	if !ok {
+		c.mu.Unlock()
+		return nil, ErrDatasetNotCached
+	}
+	c.ref(e)
+	c.hits++
+	c.mu.Unlock()
+	<-e.ready
+	if e.err != nil {
+		c.release(e)
+		return nil, e.err
+	}
+	return &CachedDataset{c: c, e: e}, nil
+}
+
+// ref pins an entry: removes it from the LRU list while referenced. Caller
+// holds c.mu.
+func (c *DatasetCache) ref(e *cacheEntry) {
+	e.refs++
+	if e.lru != nil {
+		c.lru.Remove(e.lru)
+		e.lru = nil
+	}
+}
+
+// release unpins one reference; the last release lists the entry as most
+// recently used and applies the budget.
+func (c *DatasetCache) release(e *cacheEntry) {
+	c.mu.Lock()
+	e.refs--
+	var victims []*phylo.Dataset
+	if e.refs == 0 && e.lru == nil && c.entries[e.id] == e {
+		e.lru = c.lru.PushFront(e)
+		victims = c.evictLocked()
+	}
+	c.mu.Unlock()
+	closeAll(victims)
+}
+
+// evictLocked drops least-recently-used unreferenced entries until the
+// resident bytes fit the budget, returning the datasets to close outside the
+// lock. Referenced entries are pinned (not listed), so a cache whose live
+// working set exceeds the budget simply stays over it until references
+// drain — admission control, not the cache, is the mechanism that bounds
+// concurrent work.
+func (c *DatasetCache) evictLocked() []*phylo.Dataset {
+	if c.budget <= 0 {
+		return nil
+	}
+	var victims []*phylo.Dataset
+	for c.bytes > c.budget {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		e.lru = nil
+		delete(c.entries, e.id)
+		c.bytes -= e.bytes
+		c.evictions++
+		victims = append(victims, e.ds)
+	}
+	return victims
+}
+
+// Remove explicitly drops an unreferenced dataset (DELETE /v1/datasets/{id}).
+func (c *DatasetCache) Remove(id string) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrCacheClosed
+	}
+	e, ok := c.entries[id]
+	if !ok {
+		c.mu.Unlock()
+		return ErrDatasetNotCached
+	}
+	if e.refs > 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: %d reference(s)", ErrDatasetBusy, e.refs)
+	}
+	if e.lru != nil {
+		c.lru.Remove(e.lru)
+		e.lru = nil
+	}
+	delete(c.entries, id)
+	c.bytes -= e.bytes
+	ds := e.ds
+	c.mu.Unlock()
+	if ds != nil {
+		ds.Close()
+	}
+	return nil
+}
+
+// List describes every resident dataset (build-complete entries only).
+func (c *DatasetCache) List() []DatasetInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(c.entries))
+	for _, e := range c.entries {
+		select {
+		case <-e.ready:
+		default:
+			continue // still building
+		}
+		if e.err != nil {
+			continue
+		}
+		out = append(out, DatasetInfo{
+			ID:          e.id,
+			Taxa:        e.ds.NumTaxa(),
+			Sites:       e.ds.NumSites(),
+			Patterns:    e.ds.NumPatterns(),
+			Partitions:  e.ds.NumPartitions(),
+			MemoryBytes: e.bytes,
+			Refs:        e.refs,
+		})
+	}
+	return out
+}
+
+// CacheStats is the cache telemetry exposed at /v1/stats.
+type CacheStats struct {
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Evictions   int64 `json:"evictions"`
+}
+
+// Stats snapshots the cache counters.
+func (c *DatasetCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:     len(c.entries),
+		Bytes:       c.bytes,
+		BudgetBytes: c.budget,
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Evictions:   c.evictions,
+	}
+}
+
+// Close evicts everything and rejects further use. Callers must have drained
+// in-flight work first (the server's Drain does); entries still referenced
+// are closed anyway — their sessions degrade per Dataset.Close semantics.
+func (c *DatasetCache) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	var victims []*phylo.Dataset
+	for id, e := range c.entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				victims = append(victims, e.ds)
+			}
+		default:
+			// Still building; the builder observes closed and cleans up.
+		}
+		delete(c.entries, id)
+	}
+	c.lru.Init()
+	c.bytes = 0
+	c.mu.Unlock()
+	closeAll(victims)
+}
+
+// closeAll closes evicted datasets outside the cache lock.
+func closeAll(victims []*phylo.Dataset) {
+	for _, ds := range victims {
+		ds.Close()
+	}
+}

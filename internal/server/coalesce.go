@@ -1,0 +1,84 @@
+package server
+
+import "sync"
+
+// Single-flight coalescing of identical evaluate requests. The likelihood
+// kernel is deterministic: two requests naming the same (dataset, model,
+// tree) triple will produce bit-identical log likelihoods, so while one is
+// being computed, duplicates should wait for that computation instead of
+// paying for their own kernel run. This matters for exactly the traffic a
+// likelihood daemon sees — surrogate-assisted optimizers and bootstrap
+// drivers re-evaluate the same candidate from several workers at once.
+
+// flightCall is one in-flight computation plus everyone waiting on it.
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+	dups int // waiters beyond the caller that launched it
+}
+
+// flightGroup deduplicates concurrent calls by key. It is the classic
+// single-flight shape: the first caller for a key runs fn, later callers for
+// the same key block on the first call's result; once the call completes the
+// key is forgotten, so sequential identical requests each run fresh (results
+// depend only on the key, but a cache with an explicit budget belongs to the
+// dataset layer, not here).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+
+	// Counters for /v1/stats: primary counts executed computations,
+	// coalesced counts duplicates served from someone else's run.
+	primary   int64
+	coalesced int64
+}
+
+// Do executes fn once per concurrently requested key and hands its result to
+// every waiter. The second return reports whether this caller was coalesced
+// onto another caller's computation.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (any, bool, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.dups++
+		g.coalesced++
+		g.mu.Unlock()
+		<-c.done
+		return c.val, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.primary++
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, false, c.err
+}
+
+// Waiting reports how many duplicate callers are currently parked on the
+// key's in-flight call (0 when no call is in flight). Tests use it to make
+// coalescing deterministic: park the primary computation, wait until the
+// duplicates have joined, then release it.
+func (g *flightGroup) Waiting(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.dups
+	}
+	return 0
+}
+
+// Counters returns the executed and coalesced call totals.
+func (g *flightGroup) Counters() (primary, coalesced int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.primary, g.coalesced
+}

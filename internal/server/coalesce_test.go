@@ -1,0 +1,128 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup
+	const n = 8
+	gate := make(chan struct{})
+	var runs int
+	var mu sync.Mutex
+
+	fn := func() (any, error) {
+		mu.Lock()
+		runs++
+		mu.Unlock()
+		<-gate
+		return "result", nil
+	}
+
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	coalesced := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], coalesced[i], _ = g.Do("k", fn)
+		}(i)
+	}
+	// Deterministic: wait until all n-1 duplicates are parked, then release.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Waiting("k") < n-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d waiters joined", g.Waiting("k"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if runs != 1 {
+		t.Fatalf("fn ran %d times, want 1", runs)
+	}
+	nCoal := 0
+	for i := range results {
+		if results[i] != "result" {
+			t.Fatalf("result[%d] = %v", i, results[i])
+		}
+		if coalesced[i] {
+			nCoal++
+		}
+	}
+	if nCoal != n-1 {
+		t.Fatalf("coalesced = %d, want %d", nCoal, n-1)
+	}
+	p, c := g.Counters()
+	if p != 1 || c != n-1 {
+		t.Fatalf("counters = (%d, %d), want (1, %d)", p, c, n-1)
+	}
+}
+
+func TestFlightGroupSequentialRunsFresh(t *testing.T) {
+	var g flightGroup
+	runs := 0
+	fn := func() (any, error) { runs++; return runs, nil }
+	v1, co1, _ := g.Do("k", fn)
+	v2, co2, _ := g.Do("k", fn)
+	if co1 || co2 {
+		t.Fatal("sequential calls must not coalesce")
+	}
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("got %v, %v", v1, v2)
+	}
+}
+
+func TestFlightGroupErrorSharedThenForgotten(t *testing.T) {
+	var g flightGroup
+	boom := errors.New("boom")
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = g.Do("k", func() (any, error) { <-gate; return nil, boom })
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Waiting("k") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("errs[%d] = %v", i, err)
+		}
+	}
+	// The key is forgotten: a fresh call runs and can succeed.
+	if v, co, err := g.Do("k", func() (any, error) { return 42, nil }); v != 42 || co || err != nil {
+		t.Fatalf("retry = (%v, %v, %v)", v, co, err)
+	}
+	if g.Waiting("k") != 0 {
+		t.Fatal("stale flight retained")
+	}
+}
+
+func TestFlightGroupDistinctKeysIndependent(t *testing.T) {
+	var g flightGroup
+	a, coA, _ := g.Do("a", func() (any, error) { return "a", nil })
+	b, coB, _ := g.Do("b", func() (any, error) { return "b", nil })
+	if coA || coB || a != "a" || b != "b" {
+		t.Fatalf("got (%v,%v) (%v,%v)", a, coA, b, coB)
+	}
+	p, c := g.Counters()
+	if p != 2 || c != 0 {
+		t.Fatalf("counters = (%d,%d)", p, c)
+	}
+}

@@ -1,0 +1,148 @@
+package server
+
+import (
+	"sync"
+
+	"phylo"
+)
+
+// Progress streaming. Analyses emit one ProgressEvent per optimizer/search
+// round on the analysing goroutine, between parallel regions — the publisher
+// must never block there, or a slow SSE client would stall the kernel. The
+// hub therefore buffers with hard bounds at both levels and sheds load by
+// dropping the OLDEST events first: a progress stream is a telemetry stream,
+// where the newest state is worth strictly more than a complete history.
+
+// Event is one numbered progress event. Seq is the 1-based position in the
+// analysis's full event history; gaps in a subscriber's sequence are events
+// shed by backpressure (reported in SSE as the `dropped` field via Hub
+// counters and visible as non-consecutive seq values).
+type Event struct {
+	Seq int64               `json:"seq"`
+	Ev  phylo.ProgressEvent `json:"event"`
+}
+
+// subscriber is one attached SSE stream: a bounded channel the hub never
+// blocks on.
+type subscriber struct {
+	ch      chan Event
+	dropped int64
+}
+
+// eventHub is the bounded broadcast buffer for one analysis job: a ring of
+// the most recent history (replayed to late subscribers) plus per-subscriber
+// bounded channels with drop-oldest overflow. Publish is called from the
+// analysis goroutine and never blocks.
+type eventHub struct {
+	mu      sync.Mutex
+	ring    []Event // most recent events, oldest first; len <= cap(ring)
+	cap     int
+	seq     int64
+	dropped int64 // ring-level drops (history shed before anyone subscribed)
+	subs    map[*subscriber]struct{}
+	closed  bool
+}
+
+// newEventHub creates a hub retaining up to capacity events of history;
+// subscriber channels use the same bound. capacity < 1 selects 1.
+func newEventHub(capacity int) *eventHub {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &eventHub{ring: make([]Event, 0, capacity), cap: capacity, subs: make(map[*subscriber]struct{})}
+}
+
+// Publish appends one event, shedding the oldest history and the oldest
+// queued event of any full subscriber. Never blocks; no-op after Close.
+func (h *eventHub) Publish(ev phylo.ProgressEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.seq++
+	e := Event{Seq: h.seq, Ev: ev}
+	if len(h.ring) == h.cap {
+		copy(h.ring, h.ring[1:])
+		h.ring = h.ring[:h.cap-1]
+		h.dropped++
+	}
+	h.ring = append(h.ring, e)
+	for s := range h.subs {
+		for {
+			select {
+			case s.ch <- e:
+			default:
+				// Full: drop the subscriber's oldest and retry. The drain
+				// cannot livelock — only this goroutine sends, so one
+				// receive frees a slot that no competing sender can take.
+				select {
+				case <-s.ch:
+					s.dropped++
+					continue
+				default:
+					// Reader drained it concurrently; retry the send.
+					continue
+				}
+			}
+			break
+		}
+	}
+}
+
+// Subscribe attaches a new stream, pre-loading the retained history. The
+// returned cancel detaches (idempotent); the channel closes when the hub
+// closes after the analysis finishes.
+func (h *eventHub) Subscribe() (<-chan Event, func()) {
+	h.mu.Lock()
+	s := &subscriber{ch: make(chan Event, h.cap+len(h.ring))}
+	for _, e := range h.ring {
+		s.ch <- e
+	}
+	if h.closed {
+		close(s.ch)
+		h.mu.Unlock()
+		return s.ch, func() {}
+	}
+	h.subs[s] = struct{}{}
+	h.mu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			if _, ok := h.subs[s]; ok {
+				delete(h.subs, s)
+				close(s.ch)
+			}
+			h.mu.Unlock()
+		})
+	}
+	return s.ch, cancel
+}
+
+// Close ends the stream: subscriber channels close once drained of their
+// queued events, and later Publishes are dropped.
+func (h *eventHub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		close(s.ch)
+		delete(h.subs, s)
+	}
+}
+
+// Dropped totals the events shed at the ring level plus per-subscriber.
+func (h *eventHub) Dropped() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := h.dropped
+	for s := range h.subs {
+		n += s.dropped
+	}
+	return n
+}
