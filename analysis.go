@@ -40,15 +40,16 @@ const (
 // issued so far and the cumulative per-worker load imbalance of this
 // session.
 type ProgressEvent struct {
+	// Phase names the entry point that produced the event (PhaseModelOpt,
+	// PhaseSearch, or PhaseBootstrap).
 	Phase Phase
 	// Round is 1-based within the current entry point.
 	Round int
 	// LnL is the log likelihood after the round.
 	LnL float64
-	// MovesApplied/MovesTried accumulate over the search (zero during
+	// MovesApplied and MovesTried accumulate over the search (zero during
 	// model optimization).
-	MovesApplied int
-	MovesTried   int
+	MovesApplied, MovesTried int
 	// Regions is this session's synchronization-region count so far.
 	Regions int64
 	// WorkerImbalance is the session's cumulative max/avg per-worker load
@@ -65,8 +66,7 @@ type ProgressEvent struct {
 	// steal operations workers performed and how many patterns migrated
 	// through them. Sustained heavy migration means the schedule's static
 	// pack is mispriced, not just noisy.
-	StealCount     float64
-	StolenPatterns float64
+	StealCount, StolenPatterns float64
 }
 
 // AnalysisOptions configures one analysis session over a Dataset. Only
@@ -356,16 +356,22 @@ func (an *Analysis) OptimizeBranchLengths(ctx context.Context) (float64, error) 
 
 // SearchResult reports an SPR search.
 type SearchResult struct {
-	LnL          float64
-	Rounds       int
-	MovesApplied int
-	MovesTried   int
+	// LnL is the final log likelihood of the best tree found.
+	LnL float64
+	// Rounds is the number of SPR rounds actually run.
+	Rounds int
+	// MovesApplied and MovesTried count the accepted and the evaluated SPR
+	// rearrangements over the whole search.
+	MovesApplied, MovesTried int
 }
 
 // SearchOptions tunes Search; zero values select defaults.
 type SearchOptions struct {
+	// MaxRounds caps the number of SPR improvement rounds (default 5).
 	MaxRounds int
-	Radius    int
+	// Radius bounds how far a pruned subtree may be reinserted from its
+	// original position, in edges (default 5).
+	Radius int
 }
 
 // Search runs the SPR maximum-likelihood tree search with default settings.
@@ -472,10 +478,15 @@ func (an *Analysis) Alpha(partition int) (float64, error) {
 // analysis is about. Sessions sharing one pool each see only their own
 // counters.
 type SyncStats struct {
-	Regions     int64
-	CriticalOps float64
-	TotalOps    float64
-	Imbalance   float64
+	// Regions counts the synchronization regions (parallel barriers) this
+	// session issued.
+	Regions int64
+	// CriticalOps and TotalOps are the cumulative per-region maximum worker
+	// load and the cumulative total load, in analytic op-model units.
+	CriticalOps, TotalOps float64
+	// Imbalance is the cumulative region-level critical-path ratio:
+	// CriticalOps divided by TotalOps/Workers (1.0 = perfectly balanced).
+	Imbalance float64
 	// WorkerImbalance is the max/avg ratio of cumulative per-worker op totals
 	// across the whole run — the direct measure of how well the schedule's
 	// pattern assignment balanced the work, priced by the analytic op model.
@@ -489,14 +500,14 @@ type SyncStats struct {
 	WorkerTime []float64
 	// Rebalances counts this session's measured-schedule rebuilds.
 	Rebalances int
-	// StealCount/StolenPatterns total the session's intra-region steal
+	// StealCount and StolenPatterns total the session's intra-region steal
 	// operations and the patterns that migrated through them; WorkerSteals
 	// is the per-worker steal-count distribution (all zero unless the
 	// Dataset enables Steal). A worker with a high steal count is one that
 	// kept draining its share early — the under-priced side of the pack.
-	StealCount     float64
-	StolenPatterns float64
-	WorkerSteals   []float64
+	StealCount, StolenPatterns float64
+	// WorkerSteals is the per-worker steal-count distribution.
+	WorkerSteals []float64
 }
 
 // Stats returns the session's accumulated parallel runtime statistics

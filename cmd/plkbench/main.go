@@ -170,6 +170,10 @@ func writeReport(rep *bench.MicrobenchReport, out string) {
 		fmt.Printf("T=%-2d backend newview: generic %10.0f ns/op   fused %10.0f ns/op   speedup %.2fx\n",
 			bt.Threads, bt.GenericNsOp, bt.FusedNsOp, bt.Speedup)
 	}
+	for _, bt := range rep.Bootstrap {
+		fmt.Printf("T=%-2d bootstrap (R=%d): batched %8.0f reps/sec   independent %8.0f reps/sec   speedup %.2fx\n",
+			bt.Threads, bt.Replicates, bt.BatchedRepsPerSec, bt.IndependentRepsPerSec, bt.Speedup)
+	}
 	if rep.Backend != "" {
 		fmt.Printf("active kernel backend: %s\n", rep.Backend)
 	}

@@ -17,6 +17,7 @@
 //	plkrun -real r125_19839 -scale 0.05 -mode search -threads 8 -progress
 //	plkrun -grid d50_50000 -scale 0.01 -mode modelopt -threads 4 -sessions 3
 //	plkrun -grid d50_50000 -scale 0.02 -mode modelopt -threads 8 -schedule weighted -steal
+//	plkrun -grid d20_10000 -scale 0.05 -mode modelopt -threads 4 -bootstrap 100 -seed 7
 package main
 
 import (
@@ -57,6 +58,7 @@ func main() {
 		treePath  = flag.String("tree", "", "Newick starting tree file (default: random from -seed)")
 		progress  = flag.Bool("progress", false, "stream per-round progress events")
 		sessions  = flag.Int("sessions", 1, "concurrent identical sessions over the one dataset")
+		bootstrap = flag.Int("bootstrap", 0, "after the analysis, run N batched bootstrap replicates (seeded by -seed) and print the support-annotated tree")
 	)
 	flag.Parse()
 
@@ -119,6 +121,9 @@ func main() {
 		ds.NumTaxa(), ds.NumSites(), ds.NumPatterns(), ds.NumPartitions(), strat, sched, ds.Backend(), *threads)
 
 	if *sessions > 1 {
+		if *bootstrap > 0 {
+			fatal(errors.New("-bootstrap runs on a single session; drop -sessions"))
+		}
 		if err := runConcurrent(ctx, ds, aopts, sched, *sessions, *mode, *rounds, *radius); err != nil {
 			fatal(err)
 		}
@@ -157,6 +162,44 @@ func main() {
 		}
 	}
 	fmt.Printf("final tree: %s\n", an.TreeNewick())
+
+	if *bootstrap > 0 && !cancelled {
+		if err := runBootstrap(ctx, an, *bootstrap, *seed); err != nil && !errors.Is(err, context.Canceled) {
+			fatal(err)
+		}
+	}
+}
+
+// runBootstrap draws R batched bootstrap replicates over the finished
+// analysis tree and prints the support-annotated result.
+func runBootstrap(ctx context.Context, an *phylo.Analysis, replicates int, seed int64) error {
+	fmt.Printf("bootstrap: %d replicates (seed %d), scoring the tree and its NNI neighborhood in one batched sweep...\n",
+		replicates, seed)
+	res, err := an.Bootstrap(ctx, replicates, seed)
+	if err != nil {
+		return err
+	}
+	mlWins := 0
+	for _, w := range res.ReplicateWinner {
+		if w == 0 {
+			mlWins++
+		}
+	}
+	fmt.Printf("bootstrap: %d candidates scored; ML topology won %d/%d replicates\n",
+		res.Candidates, mlWins, res.Replicates)
+	minSup, sum := 1.0, 0.0
+	for _, frac := range res.Support {
+		sum += frac
+		if frac < minSup {
+			minSup = frac
+		}
+	}
+	if len(res.Support) > 0 {
+		fmt.Printf("bootstrap: mean split support %.0f%%, weakest split %.0f%%\n",
+			100*sum/float64(len(res.Support)), 100*minSup)
+	}
+	fmt.Printf("support tree: %s\n", res.TreeNewick)
+	return nil
 }
 
 // runOne executes one session's analysis and returns its log likelihood.

@@ -67,6 +67,25 @@ func CompareReports(baseline, fresh *MicrobenchReport, tol float64) []string {
 					bt.Speedup, backendSpeedupFloor, bt.GenericNsOp, bt.FusedNsOp))
 		}
 	}
+	// Bootstrap batching: the batched per-replicate cost rides the usual
+	// trajectory check, and the batched-vs-R-independent-sessions speedup at
+	// one thread is held to an absolute floor — like the backend floor, an
+	// intra-run ratio immune to machine-class drift. Only fires when both
+	// modes were measured.
+	baseBoot := make(map[int]BootstrapTiming, len(baseline.Bootstrap))
+	for _, bt := range baseline.Bootstrap {
+		baseBoot[bt.Threads] = bt
+	}
+	for _, bt := range fresh.Bootstrap {
+		if b, ok := baseBoot[bt.Threads]; ok {
+			check("bootstrap(batched, per replicate)", bt.Threads, b.BatchedNsPerRep, bt.BatchedNsPerRep)
+		}
+		if bt.Threads == 1 && bt.BatchedNsPerRep > 0 && bt.IndependentNsPerRep > 0 && bt.Speedup < bootstrapSpeedupFloor {
+			regressions = append(regressions,
+				fmt.Sprintf("bootstrap @ 1 thread: batched speedup %.2fx below the %.1fx floor (batched %.0f ns/rep, independent %.0f ns/rep)",
+					bt.Speedup, bootstrapSpeedupFloor, bt.BatchedNsPerRep, bt.IndependentNsPerRep))
+		}
+	}
 	// Stealing pathology: on the honestly priced microbenchmark workload,
 	// more than half of all patterns migrating means the static pack is
 	// systematically mispriced — stealing is papering over a scheduling bug,
@@ -93,3 +112,10 @@ const stealMigrationCeiling = 0.5
 // must at least halve the oracle's traversal time (measured best-of-three per
 // backend; the ratio sits around 2.15x on current hardware).
 const backendSpeedupFloor = 2.0
+
+// bootstrapSpeedupFloor is the minimum batched-vs-independent bootstrap
+// throughput ratio at one thread: scoring R replicates in one R-wide batched
+// session must be at least twice as fast per replicate as running R dedicated
+// single-replicate sessions (the ratio sits far above that in practice —
+// the batched sweep pays one newview traversal for all R replicates).
+const bootstrapSpeedupFloor = 2.0

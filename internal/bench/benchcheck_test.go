@@ -19,6 +19,10 @@ func checkReport() *MicrobenchReport {
 		BackendCase: []BackendTiming{
 			{Threads: 1, GenericNsOp: 34000, FusedNsOp: 16000, Speedup: 2.125},
 		},
+		Bootstrap: []BootstrapTiming{
+			{Threads: 1, Replicates: 32, BatchedNsPerRep: 30000, IndependentNsPerRep: 1000000,
+				BatchedRepsPerSec: 33333, IndependentRepsPerSec: 1000, Speedup: 33.3},
+		},
 	}
 }
 
@@ -136,6 +140,52 @@ func TestCompareReportsBackendColumn(t *testing.T) {
 	mt.BackendCase = append(mt.BackendCase, BackendTiming{Threads: 4, GenericNsOp: 9000, FusedNsOp: 8000, Speedup: 1.125})
 	if regs := CompareReports(base, mt, 0.20); len(regs) != 0 {
 		t.Errorf("sub-floor speedup at 4 threads must not trip the 1-thread floor, got %v", regs)
+	}
+}
+
+// TestCompareReportsBootstrapColumn covers the batched-bootstrap arm of the
+// perf gate: a synthetic regression of the batched per-replicate cost fails
+// the trajectory check, and a batched path that loses its 2x edge over R
+// independent sessions trips the absolute speedup floor even against a
+// baseline from before the bootstrap column existed.
+func TestCompareReportsBootstrapColumn(t *testing.T) {
+	base := checkReport()
+	if regs := CompareReports(base, checkReport(), 0.20); len(regs) != 0 {
+		t.Fatalf("identical bootstrap timings must pass, got %v", regs)
+	}
+
+	// Synthetic 30% batched slowdown: trajectory regression (the speedup
+	// stays far above the floor).
+	slow := checkReport()
+	slow.Bootstrap[0].BatchedNsPerRep *= 1.3
+	regs := CompareReports(base, slow, 0.20)
+	if len(regs) != 1 || !strings.Contains(regs[0], "bootstrap(batched, per replicate) @ 1 threads") {
+		t.Errorf("batched trajectory regression not caught: %v", regs)
+	}
+
+	// Batched edge eroded to 1.5x: the absolute floor fires, baseline or not.
+	eroded := checkReport()
+	eroded.Bootstrap[0].BatchedNsPerRep = eroded.Bootstrap[0].IndependentNsPerRep / 1.5
+	eroded.Bootstrap[0].Speedup = 1.5
+	for _, baseline := range []*MicrobenchReport{base, {Dataset: "no-bootstrap-column"}} {
+		regs := CompareReports(baseline, eroded, 0.50) // wide tol: isolate the floor
+		found := false
+		for _, r := range regs {
+			if strings.Contains(r, "bootstrap @ 1 thread") && strings.Contains(r, "below the 2.0x floor") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("eroded 1.5x bootstrap speedup must trip the floor (baseline %q): %v", baseline.Dataset, regs)
+		}
+	}
+
+	// The floor only applies at one thread.
+	mt := checkReport()
+	mt.Bootstrap = append(mt.Bootstrap, BootstrapTiming{Threads: 4, Replicates: 32,
+		BatchedNsPerRep: 9000, IndependentNsPerRep: 10000, Speedup: 1.11})
+	if regs := CompareReports(base, mt, 0.20); len(regs) != 0 {
+		t.Errorf("sub-floor bootstrap speedup at 4 threads must not trip the 1-thread floor, got %v", regs)
 	}
 }
 

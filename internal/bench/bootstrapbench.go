@@ -1,0 +1,155 @@
+package bench
+
+import (
+	"phylo/internal/alignment"
+	"phylo/internal/core"
+	"phylo/internal/model"
+	"phylo/internal/parallel"
+	"phylo/internal/seqsim"
+	"phylo/internal/tree"
+	"testing"
+)
+
+// bootstrapReplicates is the batch width R the bootstrap microbenchmark
+// measures at: wide enough that the per-lane reduction cost is visible next
+// to the shared site-likelihood computation, narrow enough that the
+// R-independent-sessions control finishes quickly.
+const bootstrapReplicates = 32
+
+// BootstrapTiming compares the two ways to score R bootstrap replicates of
+// one topology at one thread count: a single batched session (newview once,
+// one R-wide evaluate sweep) versus R independent single-replicate sessions
+// (each paying its own session setup, CLV traversal, and evaluate — the only
+// option before weight batching existed). The ns figures are per replicate;
+// replicates/sec is the headline each mode sustains.
+type BootstrapTiming struct {
+	Threads    int `json:"threads"`
+	Replicates int `json:"replicates"`
+	// BatchedNsPerRep is one batched sweep (full newview traversal plus the
+	// R-lane evaluate) divided by R.
+	BatchedNsPerRep float64 `json:"batched_ns_per_rep"`
+	// IndependentNsPerRep is one dedicated single-replicate session run:
+	// session construction, full traversal, weighted evaluate.
+	IndependentNsPerRep   float64 `json:"independent_ns_per_rep"`
+	BatchedRepsPerSec     float64 `json:"batched_reps_per_sec"`
+	IndependentRepsPerSec float64 `json:"independent_reps_per_sec"`
+	// Speedup is IndependentNsPerRep / BatchedNsPerRep; CompareReports holds
+	// it to an absolute floor at one thread (see bootstrapSpeedupFloor).
+	Speedup float64 `json:"speedup"`
+}
+
+// bootstrapBench measures BootstrapTiming on the standard small-grid
+// benchmark dataset at each thread count. Both modes share one core.Shared
+// and score the identical topology under the identical replicate weight
+// vectors; the batched mode runs with the spans priced for width R
+// (Shared.SetBatchWidth), the independent control at width 1 — each mode is
+// measured under its own honest schedule pricing.
+func bootstrapBench(rep *MicrobenchReport, threadCounts []int, scale float64, seed int64) error {
+	ds, err := seqsim.GridDataset(20, 20000, 1000, scale, seed)
+	if err != nil {
+		return err
+	}
+	d, err := alignment.Compress(ds.Alignment, ds.Parts, alignment.CompressOptions{})
+	if err != nil {
+		return err
+	}
+	models := make([]*model.Model, len(d.Parts))
+	for i, p := range d.Parts {
+		if models[i], err = model.DefaultFor(p, 4, 1.0); err != nil {
+			return err
+		}
+	}
+	const R = bootstrapReplicates
+	ws, err := core.NewWeightSet(d, R, seed+3)
+	if err != nil {
+		return err
+	}
+	rep.BootstrapDataset = ds.Name
+	for _, t := range threadCounts {
+		pool, err := parallel.NewPool(t)
+		if err != nil {
+			return err
+		}
+		sh, err := core.NewShared(d, 4, t)
+		if err != nil {
+			pool.Close()
+			return err
+		}
+		tr, err := tree.Random(ds.Alignment.Names, len(d.Parts), tree.RandomOptions{Seed: seed + 1})
+		if err != nil {
+			pool.Close()
+			return err
+		}
+		newSession := func() (*core.Engine, error) {
+			ms := make([]*model.Model, len(models))
+			for i, m := range models {
+				ms[i] = m.Clone()
+			}
+			return core.NewSession(sh, tr, ms, pool.Session(), core.Options{Specialize: true})
+		}
+
+		// Batched mode: one session, spans priced for width R; each iteration
+		// recomputes the CLVs once and reduces all R replicates in one sweep.
+		if err := sh.SetBatchWidth(R); err != nil {
+			pool.Close()
+			return err
+		}
+		eng, err := newSession()
+		if err != nil {
+			pool.Close()
+			return err
+		}
+		if _, err := eng.LogLikelihoodBatch(ws); err != nil { // warm CLVs and batch buffers
+			pool.Close()
+			return err
+		}
+		batched := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng.InvalidateCLVs()
+				if _, err := eng.LogLikelihoodBatch(ws); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		// Independent control: every replicate is a dedicated session — built,
+		// traversed, and evaluated under that replicate's weights, exactly what
+		// a bootstrap fleet costs without weight batching. One iteration = one
+		// replicate; the replicate index cycles so all weight vectors are used.
+		if err := sh.SetBatchWidth(1); err != nil {
+			pool.Close()
+			return err
+		}
+		r := 0
+		independent := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := newSession()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.SetWeightOverride(ws.Replicate(r % R)); err != nil {
+					b.Fatal(err)
+				}
+				e.LogLikelihood()
+				r++
+			}
+		})
+		pool.Close()
+
+		bt := BootstrapTiming{
+			Threads:             t,
+			Replicates:          R,
+			BatchedNsPerRep:     float64(batched.NsPerOp()) / R,
+			IndependentNsPerRep: float64(independent.NsPerOp()),
+		}
+		if bt.BatchedNsPerRep > 0 {
+			bt.BatchedRepsPerSec = 1e9 / bt.BatchedNsPerRep
+			bt.Speedup = bt.IndependentNsPerRep / bt.BatchedNsPerRep
+		}
+		if bt.IndependentNsPerRep > 0 {
+			bt.IndependentRepsPerSec = 1e9 / bt.IndependentNsPerRep
+		}
+		rep.Bootstrap = append(rep.Bootstrap, bt)
+	}
+	return nil
+}

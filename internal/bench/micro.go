@@ -91,6 +91,14 @@ type MicrobenchReport struct {
 	// comparison on the mispriced mixed workload (see StealComparison);
 	// informational here, hard-gated by the bench acceptance test.
 	StealComparison *StealComparison `json:"steal_comparison,omitempty"`
+	// BootstrapDataset and Bootstrap cover the batched-bootstrap experiment:
+	// replicates/sec of one R-wide batched session versus R independent
+	// single-replicate sessions on the same dataset and topology.
+	// CompareReports runs the usual trajectory check on the batched ns/rep
+	// and holds the batched-vs-independent speedup at one thread to an
+	// absolute floor (see bootstrapSpeedupFloor).
+	BootstrapDataset string            `json:"bootstrap_dataset,omitempty"`
+	Bootstrap        []BootstrapTiming `json:"bootstrap,omitempty"`
 }
 
 // StealMicrobench is the per-thread-count stealing fingerprint of the
@@ -206,6 +214,12 @@ func Microbench(ctx context.Context, threadCounts []int, scale float64, seed int
 		return nil, err
 	}
 	if err := stealBench(rep, threadCounts, scale, seed); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := bootstrapBench(rep, threadCounts, scale, seed); err != nil {
 		return nil, err
 	}
 	// The feedback-loop comparison rides along in the same artifact: cyclic

@@ -125,6 +125,17 @@ type KernelBackend interface {
 	// today a single implementation serves both; the method sits on the seam
 	// so a future backend can restructure the sumtable too.
 	Derivatives(c *derivSpanCtx, run schedule.Run) (float64, float64, int)
+	// EvaluateBatch is Evaluate under an R-wide replicate weight batch bound
+	// in c (see bindBatch): per pattern the site log likelihood is computed
+	// once and accumulated into out[r] under replicate r's weight, out having
+	// batchR entries. Returns the processed pattern count. Lane r performs the
+	// exact floating-point sequence of a single-replicate Evaluate over that
+	// replicate's weights — the batched bootstrap's bit-identity contract.
+	EvaluateBatch(c *evalSpanCtx, run schedule.Run, out []float64) int
+	// DerivativesBatch is Derivatives under the replicate batch bound in c:
+	// out holds batchR (d1, d2) pairs, out[2r] and out[2r+1] accumulating
+	// replicate r's partials. Returns the processed pattern count.
+	DerivativesBatch(c *derivSpanCtx, run schedule.Run, out []float64) int
 }
 
 // kernelFor selects the kernel implementation for one partition: the fused
@@ -166,6 +177,14 @@ func (genericKernels) Derivatives(c *derivSpanCtx, run schedule.Run) (float64, f
 	return c.processGeneric(run)
 }
 
+func (genericKernels) EvaluateBatch(c *evalSpanCtx, run schedule.Run, out []float64) int {
+	return c.processGenericBatch(run, out)
+}
+
+func (genericKernels) DerivativesBatch(c *derivSpanCtx, run schedule.Run, out []float64) int {
+	return c.processGenericBatch(run, out)
+}
+
 // fusedDNAKernels is the 4-state straight-line backend: category-outer
 // newview sweeps with the transition matrices hoisted out of the pattern
 // loop, and fully unrolled per-pattern evaluate bodies — all over the
@@ -191,4 +210,14 @@ func (fusedDNAKernels) Sumtable(c *sumSpanCtx, run schedule.Run) int {
 
 func (fusedDNAKernels) Derivatives(c *derivSpanCtx, run schedule.Run) (float64, float64, int) {
 	return c.processGeneric(run)
+}
+
+func (fusedDNAKernels) EvaluateBatch(c *evalSpanCtx, run schedule.Run, out []float64) int {
+	return c.processFused4Batch(run, out)
+}
+
+func (fusedDNAKernels) DerivativesBatch(c *derivSpanCtx, run schedule.Run, out []float64) int {
+	// The derivative reduction reads only the pattern-major sumtable, so the
+	// generic batch body serves every backend (see Derivatives).
+	return c.processGenericBatch(run, out)
 }

@@ -296,6 +296,10 @@ type derivSpanCtx struct {
 	weights            []float64
 	eTab, g1Tab, g2Tab []float64
 	kern               KernelBackend
+
+	// Batched-replicate bindings; see evalSpanCtx and internal/core/batch.go.
+	batchR int
+	batchW []float64
 }
 
 // prepareDerivSpan fills the exponential tables E = exp(lambda_k r_c z) and
@@ -308,7 +312,7 @@ func (e *Engine) prepareDerivSpan(c *derivSpanCtx, ip int, z float64, ex []float
 	m := e.Models[ip]
 	*c = derivSpanCtx{
 		e: e, ip: ip, s: s, cats: cats, cs: cs,
-		sbase: e.layout.SumIndex(ip, 0), partOffset: part.Offset, weights: part.Weights,
+		sbase: e.layout.SumIndex(ip, 0), partOffset: part.Offset, weights: e.weightsFor(part),
 		eTab: ex[0:cs], g1Tab: ex[cs : 2*cs], g2Tab: ex[2*cs : 3*cs],
 		kern: e.kernels[ip],
 	}

@@ -98,6 +98,17 @@ type Engine struct {
 	evalPartials  [][]float64 // per worker: per-partition lnL partials
 	derivPartials [][]float64 // per worker: per-partition (d1, d2) partials
 
+	// Batched-replicate state (see internal/core/batch.go): an optional
+	// single-vector weight override for the unbatched reductions, the
+	// per-worker R-wide partial buffers, and the per-chunk R-wide partial
+	// buffers of the work-stealing reductions. The batch buffers are sized
+	// lazily to the widest WeightSet the session has run.
+	weightOverride    []float64
+	batchEvalPartials [][]float64 // per worker: [partition*R + r] lnL partials
+	batchDerivParts   [][]float64 // per worker: [partition*2R + 2r(+1)] partials
+	batchEvalChunk    []float64   // steal path: [chunk*R + r] partials
+	batchDerivChunk   []float64   // steal path: [chunk*2R + 2r(+1)] partials
+
 	pmScratch  [][2][]float64 // per worker: two P-matrix buffers (cats x s x s)
 	exScratch  [][]float64    // per worker: exponential/derivative tables (3 x cats x s)
 	tipScratch [][2][]float64 // per worker: two tip lookup tables (codes x cats x s)

@@ -166,6 +166,12 @@ type evalSpanCtx struct {
 	qTab       []float64
 	kern       KernelBackend
 	fixed      float64
+
+	// Batched-replicate bindings (zero unless bindBatch attached a WeightSet):
+	// batchR lanes per pattern, batchW[j*batchR+r] the weight of the span's
+	// j-th pattern under replicate r (see internal/core/batch.go).
+	batchR int
+	batchW []float64
 }
 
 // prepareEvalSpan binds c to (root branch, partition, worker): the p-side
@@ -181,7 +187,7 @@ func (e *Engine) prepareEvalSpan(c *evalSpanCtx, p, q *tree.Node, ip, w int, pm 
 		e: e, ip: ip, w: w, s: s, cats: cats, cs: cats * s,
 		base: e.layout.Base(ip), patStride: e.layout.PatStride(ip), catStride: e.layout.CatStride(ip),
 		partOffset: part.Offset, dtype: part.Type,
-		weights: part.Weights, invCats: 1.0 / float64(cats),
+		weights: e.weightsFor(part), invCats: 1.0 / float64(cats),
 		pTip: p.IsTip(), qTip: q.IsTip(),
 		pm: pm, freqs: m.Freqs,
 		kern:  e.kernels[ip],

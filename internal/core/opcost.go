@@ -113,6 +113,26 @@ func opsDerivative(states, cats int) float64 {
 	return float64(cats*states*3 + 10)
 }
 
+// Per-pattern cost of one *additional* replicate lane in the batched
+// reductions: an evaluate lane is one weight multiply-accumulate into its
+// partial (~2 madds), a derivative lane two (d1 and d2, ~4). The first lane
+// is already priced by opsEvaluateCase/opsDerivative — a width-1 batch
+// performs exactly the unbatched reduction's work.
+const (
+	opsEvalLane  = 2.0
+	opsDerivLane = 4.0
+)
+
+// opsEvaluateBatch prices one pattern of the R-wide batched evaluate.
+func opsEvaluateBatch(states, cats int, qTipFast bool, lanes int) float64 {
+	return opsEvaluateCase(states, cats, qTipFast) + opsEvalLane*float64(lanes-1)
+}
+
+// opsDerivativeBatch prices one pattern of the R-wide batched derivative.
+func opsDerivativeBatch(states, cats, lanes int) float64 {
+	return opsDerivative(states, cats) + opsDerivLane*float64(lanes-1)
+}
+
 // opsTipTable is the one-off cost of precomputing a per-code lookup table
 // for one tip child: codes rows of cats×s entries, each an s-term dot
 // product. It amortizes over the worker's pattern share, which is why the

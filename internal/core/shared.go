@@ -78,8 +78,10 @@ type Shared struct {
 
 	spans []schedule.Span // per-partition pattern ranges with op costs
 
-	mu      sync.Mutex
-	holders map[schedule.Strategy]*ScheduleHolder
+	mu         sync.Mutex
+	holders    map[schedule.Strategy]*ScheduleHolder
+	baseCosts  []float64 // per-partition per-pattern costs at batch width 1
+	batchWidth int       // live replicate batch width pricing the spans (>= 1)
 }
 
 // NewShared computes the session-independent engine state for one dataset
@@ -136,6 +138,11 @@ func NewSharedWith(data *alignment.CompressedData, numCats, threads int, backend
 		// and leaves the relative weights the schedules pack by unchanged.
 		sh.spans[i] = schedule.Span{Lo: p.Offset, Hi: p.End(), Cost: opsNewviewAvg(p.Type.States(), numCats, tipFrac)}
 	}
+	sh.baseCosts = make([]float64, len(sh.spans))
+	for i, sp := range sh.spans {
+		sh.baseCosts[i] = sp.Cost
+	}
+	sh.batchWidth = 1
 	return sh, nil
 }
 
@@ -215,6 +222,78 @@ func (sh *Shared) OverrideSpanCosts(costs []float64) error {
 			return fmt.Errorf("core: negative span cost %v for partition %d", c, i)
 		}
 		sh.spans[i].Cost = c
+		sh.baseCosts[i] = c
+	}
+	return nil
+}
+
+// batchLaneOps is the per-pattern span-cost increment of one additional live
+// replicate lane: the batched evaluate adds ~2 madds per lane and the batched
+// derivative ~4 (see opsEvalLane/opsDerivLane); spans carry one cost across
+// all region kinds, so they are priced at the blend. The increment is tiny
+// next to a DNA newview span (~48 madds at 4 cats) and sizeable at large R —
+// exactly the regime where an honest LPT pack and honest steal-cost estimates
+// start to matter.
+const batchLaneOps = 3.0
+
+// BatchWidth reports the replicate batch width the span costs are currently
+// priced for (1 until SetBatchWidth raises it).
+func (sh *Shared) BatchWidth() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.batchWidth
+}
+
+// SetBatchWidth reprices every span for sessions running R-wide replicate
+// batches — per-pattern cost becomes base + batchLaneOps·(R-1) — and
+// republishes every strategy holder already built, so the weighted and
+// adaptive packs (and the steal layouts derived from them) reflect the live
+// batch width. Sessions adopt the republished schedules at their own next
+// region boundary, the same versioned-holder mechanism rebalancing uses; a
+// measured holder's observed costs are scaled by each span's repricing ratio
+// rather than discarded, so the feedback loop keeps its learned relative
+// costs across a width change. Idempotent per width; R < 1 is an error.
+func (sh *Shared) SetBatchWidth(R int) error {
+	if R < 1 {
+		return fmt.Errorf("core: batch width %d must be positive", R)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if R == sh.batchWidth {
+		return nil
+	}
+	prev := sh.batchWidth
+	sh.batchWidth = R
+	for i := range sh.spans {
+		sh.spans[i].Cost = sh.baseCosts[i] + batchLaneOps*float64(R-1)
+	}
+	for strat, h := range sh.holders {
+		if strat == schedule.Measured {
+			// Scale the measured pack's observed (seconds-per-pattern) costs by
+			// the madd-unit repricing ratio — unit-free, so learned relative
+			// costs survive the width change.
+			cur, _ := h.Current()
+			scaled := make(schedule.PartitionCosts, len(sh.spans))
+			for i := range scaled {
+				den := sh.baseCosts[i] + batchLaneOps*float64(prev-1)
+				if den <= 0 {
+					scaled[i] = cur.Span(i).Cost
+					continue
+				}
+				scaled[i] = cur.Span(i).Cost * (sh.spans[i].Cost / den)
+			}
+			next, err := cur.Rebalance(scaled)
+			if err != nil {
+				return err
+			}
+			h.publish(next)
+			continue
+		}
+		s, err := schedule.New(strat, sh.Threads, sh.spans)
+		if err != nil {
+			return err
+		}
+		h.publish(s)
 	}
 	return nil
 }

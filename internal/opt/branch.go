@@ -43,13 +43,21 @@ func New(e *core.Engine, cfg Config) *Optimizer {
 	}
 }
 
-// bind installs the cancellation context for subsequent loop checks; a nil
-// ctx means "never cancelled".
+// bind installs the cancellation context for subsequent loop checks (a nil
+// ctx means "never cancelled") and, when Cfg.Weights is set, installs the
+// replicate weight override on the engine so every region the optimizer
+// issues scores the weighted objective (the shared-branch-length bootstrap
+// mode; see Config.Weights).
 func (o *Optimizer) bind(ctx context.Context) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	o.ctx = ctx
+	if o.Cfg.Weights != nil {
+		if err := o.E.SetWeightOverride(o.Cfg.Weights); err != nil {
+			panic("opt: invalid Cfg.Weights: " + err.Error())
+		}
+	}
 }
 
 // cancelled reports whether the bound context has been cancelled. It is

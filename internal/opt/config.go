@@ -19,7 +19,10 @@
 // is cut into parallel regions, which the parallel.Stats counters expose.
 package opt
 
-import "phylo/internal/model"
+import (
+	"phylo/internal/core"
+	"phylo/internal/model"
+)
 
 // Strategy selects the parallelization of the iterative optimizers.
 type Strategy int
@@ -89,6 +92,23 @@ type Config struct {
 
 	// MinBranch/MaxBranch clamp branch lengths.
 	MinBranch, MaxBranch float64
+
+	// Weights, if non-nil, makes every optimizer entry point run against this
+	// replicate weight vector instead of the dataset's own pattern weights:
+	// the width-1 WeightSet is installed on the engine (SetWeightOverride) the
+	// moment OptimizeModel or SmoothAll binds, and stays installed afterwards
+	// so the caller's follow-up evaluations score the same weighted objective.
+	// This is the shared-branch-length bootstrap mode: pass the batch's
+	// WeightSet.Aggregate() and one optimization prices branch lengths against
+	// the exact sum of all R replicate objectives (the aggregate identity
+	// Σ_r Σ_p w_r[p]·log l_p = Σ_p W[p]·log l_p holds exactly because weights
+	// are integer column counts), after which EvaluateBatch splits the score
+	// back into per-replicate terms. A nil Weights leaves whatever override
+	// the engine already carries untouched — clearing is always the explicit
+	// SetWeightOverride(nil). The WeightSet must have batch width 1 and match
+	// the engine's pattern space; an invalid one panics at bind time, like any
+	// other structurally impossible configuration.
+	Weights *core.WeightSet
 }
 
 // DefaultConfig returns production defaults close to RAxML's.

@@ -15,43 +15,55 @@ import (
 func (t *Tree) Bipartitions() map[string]bool {
 	splits := make(map[string]bool, t.NumTips()-3)
 	for _, b := range t.Branches() {
-		if b.IsTip() || b.Back.IsTip() {
-			continue // trivial split
+		if key, ok := t.SplitKey(b); ok {
+			splits[key] = true
 		}
-		var members []int
-		collectTips(b.Back, &members)
-		// Canonicalize: use the side that excludes taxon 0.
-		has0 := false
-		for _, m := range members {
-			if m == 0 {
-				has0 = true
-				break
-			}
-		}
-		if has0 {
-			other := make([]int, 0, t.NumTips()-len(members))
-			present := make(map[int]bool, len(members))
-			for _, m := range members {
-				present[m] = true
-			}
-			for i := 0; i < t.NumTips(); i++ {
-				if !present[i] {
-					other = append(other, i)
-				}
-			}
-			members = other
-		}
-		sort.Ints(members)
-		var sb strings.Builder
-		for i, m := range members {
-			if i > 0 {
-				sb.WriteByte(',')
-			}
-			fmt.Fprintf(&sb, "%d", m)
-		}
-		splits[sb.String()] = true
 	}
 	return splits
+}
+
+// SplitKey returns the rooting-independent canonical key of the split the
+// branch at record b induces — the sorted, comma-joined taxon indices of the
+// side not containing taxon 0 — and whether the split is non-trivial (both
+// branch ends inner). The same key scheme underlies Bipartitions,
+// RobinsonFoulds, and the bootstrap SupportCounter, so split identities are
+// directly comparable across all three.
+func (t *Tree) SplitKey(b *Node) (string, bool) {
+	if b.IsTip() || b.Back.IsTip() {
+		return "", false // trivial split
+	}
+	var members []int
+	collectTips(b.Back, &members)
+	// Canonicalize: use the side that excludes taxon 0.
+	has0 := false
+	for _, m := range members {
+		if m == 0 {
+			has0 = true
+			break
+		}
+	}
+	if has0 {
+		other := make([]int, 0, t.NumTips()-len(members))
+		present := make(map[int]bool, len(members))
+		for _, m := range members {
+			present[m] = true
+		}
+		for i := 0; i < t.NumTips(); i++ {
+			if !present[i] {
+				other = append(other, i)
+			}
+		}
+		members = other
+	}
+	sort.Ints(members)
+	var sb strings.Builder
+	for i, m := range members {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", m)
+	}
+	return sb.String(), true
 }
 
 // collectTips gathers the taxon indices of the subtree behind record p.

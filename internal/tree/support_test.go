@@ -1,0 +1,202 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNNICandidates checks the NNI neighborhood: 2(n-3) candidates, every
+// one structurally valid, exactly RF distance 2 from the origin (one split
+// swapped), no candidate equal to the origin, the origin untouched, and the
+// two variants of one branch distinct.
+func TestNNICandidates(t *testing.T) {
+	for _, n := range []int{4, 7, 12} {
+		tr, err := Random(names(n), 1, RandomOptions{Seed: int64(10 + n)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := WriteNewick(tr, 0)
+		cands, err := tr.NNICandidates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := 2 * (n - 3); len(cands) != want {
+			t.Fatalf("n=%d: %d NNI candidates, want %d", n, len(cands), want)
+		}
+		if WriteNewick(tr, 0) != before {
+			t.Fatal("NNICandidates modified the origin tree")
+		}
+		for i, c := range cands {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("candidate %d invalid: %v", i, err)
+			}
+			d, err := RobinsonFoulds(tr, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d != 2 {
+				t.Fatalf("candidate %d at RF distance %d from origin, want 2", i, d)
+			}
+		}
+		// The two variants across one branch must differ from each other.
+		for i := 0; i+1 < len(cands); i += 2 {
+			d, err := RobinsonFoulds(cands[i], cands[i+1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d == 0 {
+				t.Fatalf("branch %d: both NNI variants are the same topology", i/2)
+			}
+		}
+	}
+}
+
+// TestNNIPreservesBranchLengths pins the "branch travels with the child"
+// rule: the multiset of branch lengths is invariant under any NNI move.
+func TestNNIPreservesBranchLengths(t *testing.T) {
+	tr, err := Random(names(9), 1, RandomOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range tr.Branches() {
+		SetBranchLength(b, 0, 0.01*float64(i+1))
+	}
+	lengths := func(x *Tree) map[float64]int {
+		out := make(map[float64]int)
+		for _, b := range x.Branches() {
+			out[b.Z[0]]++
+		}
+		return out
+	}
+	want := lengths(tr)
+	cands, err := tr.NNICandidates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cands {
+		got := lengths(c)
+		for v, k := range want {
+			if got[v] != k {
+				t.Fatalf("candidate %d: branch length %v occurs %d times, want %d", i, v, got[v], k)
+			}
+		}
+	}
+}
+
+// TestSupportCounter feeds a known mix of topologies and checks the split
+// fractions read back on a reference tree.
+func TestSupportCounter(t *testing.T) {
+	// ((t0,t1),(t2,t3),t4-ish shapes over 5 taxa: a and b share the {t0,t1}
+	// split; c supports neither of a's splits.
+	a, err := ParseNewick("((t0:1,t1:1):1,(t2:1,t3:1):1,t4:1);", names(5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseNewick("((t0:1,t1:1):1,(t2:1,t4:1):1,t3:1);", names(5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := ParseNewick("((t0:1,t2:1):1,(t1:1,t3:1):1,t4:1);", names(5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSupportCounter(5)
+	for _, rep := range []*Tree{a, a, b, c} {
+		if err := sc.Add(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sc.Total() != 4 {
+		t.Fatalf("total %d, want 4", sc.Total())
+	}
+	sup, err := sc.Support(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sup) != 2 {
+		t.Fatalf("%d supported splits on a 5-taxon reference, want 2", len(sup))
+	}
+	// {t0,t1} appears in a, a, b -> 3/4; {t2,t3} only in a, a -> 2/4.
+	want := map[string]float64{"2,3": 0.5, "2,3,4": 0.75}
+	for key, frac := range sup {
+		w, ok := want[key]
+		if !ok {
+			t.Fatalf("unexpected split key %q", key)
+		}
+		if frac != w {
+			t.Fatalf("split %q support %v, want %v", key, frac, w)
+		}
+	}
+	// Mismatched taxon counts are rejected.
+	six, _ := Random(names(6), 1, RandomOptions{Seed: 3})
+	if err := sc.Add(six); err == nil {
+		t.Fatal("6-taxon replicate accepted by 5-taxon counter")
+	}
+	if _, err := sc.Support(six); err == nil {
+		t.Fatal("6-taxon reference accepted by 5-taxon counter")
+	}
+}
+
+// TestWriteNewickSupport checks the annotated writer: labels land on internal
+// nodes as integer percents, the output reparses to the same topology, and an
+// empty support map degrades to the plain writer's shape.
+func TestWriteNewickSupport(t *testing.T) {
+	tr, err := ParseNewick("((t0:1,t1:1):1,(t2:1,t3:1):1,t4:1);", names(5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSupportCounter(5)
+	for i := 0; i < 4; i++ {
+		if err := sc.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sup, err := sc.Support(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := WriteNewickSupport(tr, 0, sup)
+	if !strings.Contains(s, ")100:") {
+		t.Fatalf("expected 100%% support labels in %q", s)
+	}
+	back, err := ParseNewick(s, names(5), 1)
+	if err != nil {
+		t.Fatalf("support-annotated newick does not reparse: %v", err)
+	}
+	if d, _ := RobinsonFoulds(tr, back); d != 0 {
+		t.Fatalf("support-annotated newick changed topology (RF %d)", d)
+	}
+	plain := WriteNewickSupport(tr, 0, nil)
+	if plain != WriteNewick(tr, 0) {
+		t.Fatalf("nil support map should match WriteNewick: %q vs %q", plain, WriteNewick(tr, 0))
+	}
+}
+
+// TestCloneIndependence pins Clone's deep-copy contract: mutating the copy's
+// branch lengths or topology leaves the original untouched.
+func TestCloneIndependence(t *testing.T) {
+	tr, err := Random(names(8), 1, RandomOptions{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := WriteNewick(tr, 0)
+	cp, err := tr.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if WriteNewick(cp, 0) != before {
+		t.Fatal("clone differs from original")
+	}
+	for _, b := range cp.Branches() {
+		SetBranchLength(b, 0, 7.5)
+	}
+	for _, b := range cp.Branches() {
+		if !b.IsTip() && !b.Back.IsTip() {
+			nniSwap(b, false)
+			break
+		}
+	}
+	if WriteNewick(tr, 0) != before {
+		t.Fatal("mutating the clone changed the original")
+	}
+}
