@@ -58,6 +58,8 @@ func (c *evalSpanCtx) takeOpsBatch(count int) float64 {
 // processGenericBatch is the generic R-lane evaluate body: the per-pattern
 // site log likelihood exactly as processGeneric computes it, fanned out into
 // R weighted partials.
+//
+//plk:hotpath
 func (c *evalSpanCtx) processGenericBatch(run schedule.Run, out []float64) int {
 	R := c.batchR
 	count := 0
@@ -78,6 +80,8 @@ func (c *evalSpanCtx) processGenericBatch(run schedule.Run, out []float64) int {
 // associativity argument), with the single weighted accumulation replaced by
 // the R-lane sweep. A q-side tip without a table falls back to the generic
 // batch body, which is bit-identical.
+//
+//plk:hotpath
 func (c *evalSpanCtx) processFused4Batch(run schedule.Run, out []float64) int {
 	if c.qTip && c.qTab == nil {
 		return c.processGenericBatch(run, out)
@@ -137,6 +141,8 @@ func (c *evalSpanCtx) processFused4Batch(run schedule.Run, out []float64) int {
 // exactly as in the unbatched processGeneric — and the resulting first-
 // derivative ratio and curvature terms accumulate under all R replicate
 // weights into out[2r], out[2r+1].
+//
+//plk:hotpath
 func (c *derivSpanCtx) processGenericBatch(run schedule.Run, out []float64) int {
 	cs := c.cs
 	R := c.batchR
@@ -268,7 +274,7 @@ func (e *Engine) EvaluateBatch(p *tree.Node, active []bool, ws *WeightSet) ([]fl
 			}
 			var t0 time.Time
 			if e.measure {
-				t0 = time.Now()
+				t0 = time.Now() //plk:allow(timenow) measured-cost attribution; never feeds likelihood values
 			}
 			ops += e.evaluateBatchPartition(p, q, ip, w, pm, ws, out)
 			if e.measure {
@@ -358,7 +364,7 @@ func (e *Engine) evaluateBatchSteal(p, q *tree.Node, act []bool, ws *WeightSet) 
 			ch := rt.Layout().Chunk(id)
 			var t0 time.Time
 			if e.measure {
-				t0 = time.Now()
+				t0 = time.Now() //plk:allow(timenow) measured-cost attribution; never feeds likelihood values
 			}
 			if ch.Span != cached {
 				e.prepareEvalSpan(&c, p, q, ch.Span, w, pm)
@@ -432,7 +438,7 @@ func (e *Engine) BranchDerivativesBatch(z []float64, active []bool, ws *WeightSe
 			}
 			var t0 time.Time
 			if e.measure {
-				t0 = time.Now()
+				t0 = time.Now() //plk:allow(timenow) measured-cost attribution; never feeds likelihood values
 			}
 			ops += e.derivativeBatchPartition(ip, z[ip], w, ws, out, ex)
 			if e.measure {
@@ -500,7 +506,7 @@ func (e *Engine) derivativesBatchSteal(z []float64, act []bool, ws *WeightSet, d
 			ch := rt.Layout().Chunk(id)
 			var t0 time.Time
 			if e.measure {
-				t0 = time.Now()
+				t0 = time.Now() //plk:allow(timenow) measured-cost attribution; never feeds likelihood values
 			}
 			if ch.Span != cached {
 				e.prepareDerivSpan(&c, ch.Span, z[ch.Span], ex)

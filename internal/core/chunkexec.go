@@ -46,7 +46,7 @@ import (
 // and stealing compose: observed per-pattern costs reflect the patterns a
 // worker actually executed (its own and stolen ones), not its static share.
 func (e *Engine) chargeChunk(w, ip, patterns int, t0 time.Time) {
-	e.partSecs[w][ip] += time.Since(t0).Seconds()
+	e.partSecs[w][ip] += time.Since(t0).Seconds() //plk:allow(timenow) measured-cost attribution; never feeds likelihood values
 	e.partPats[w][ip] += float64(patterns)
 }
 
@@ -74,7 +74,7 @@ func (e *Engine) executeStepsSteal(steps []tree.TraversalStep, act []bool) {
 				ch := rt.Layout().Chunk(id)
 				var t0 time.Time
 				if e.measure {
-					t0 = time.Now()
+					t0 = time.Now() //plk:allow(timenow) measured-cost attribution; never feeds likelihood values
 				}
 				if ch.Span != cached {
 					e.prepareNewviewSpan(&c, steps[si], ch.Span, w, pmQ, pmR)
@@ -119,7 +119,7 @@ func (e *Engine) evaluateSteal(p, q *tree.Node, act []bool) (float64, []float64)
 			ch := rt.Layout().Chunk(id)
 			var t0 time.Time
 			if e.measure {
-				t0 = time.Now()
+				t0 = time.Now() //plk:allow(timenow) measured-cost attribution; never feeds likelihood values
 			}
 			if ch.Span != cached {
 				e.prepareEvalSpan(&c, p, q, ch.Span, w, pm)
@@ -166,7 +166,7 @@ func (e *Engine) sumtableSteal(p, q *tree.Node, act []bool) {
 			ch := rt.Layout().Chunk(id)
 			var t0 time.Time
 			if e.measure {
-				t0 = time.Now()
+				t0 = time.Now() //plk:allow(timenow) measured-cost attribution; never feeds likelihood values
 			}
 			if ch.Span != cached {
 				e.prepareSumtableSpan(&c, p, q, ch.Span, w)
@@ -209,7 +209,7 @@ func (e *Engine) derivativesSteal(z []float64, act []bool, d1, d2 []float64) {
 			ch := rt.Layout().Chunk(id)
 			var t0 time.Time
 			if e.measure {
-				t0 = time.Now()
+				t0 = time.Now() //plk:allow(timenow) measured-cost attribution; never feeds likelihood values
 			}
 			if ch.Span != cached {
 				e.prepareDerivSpan(&c, ch.Span, z[ch.Span], ex)

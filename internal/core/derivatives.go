@@ -37,7 +37,7 @@ func (e *Engine) PrepareSumtable(p *tree.Node, active []bool) {
 			}
 			var t0 time.Time
 			if e.measure {
-				t0 = time.Now()
+				t0 = time.Now() //plk:allow(timenow) measured-cost attribution; never feeds likelihood values
 			}
 			ops += e.sumtablePartition(p, q, ip, w)
 			if e.measure {
@@ -157,6 +157,8 @@ func (c *sumSpanCtx) process(run schedule.Run) int {
 // geometry under every backend (the derivative kernel reduces one pattern's
 // contiguous cats·s block at a time). Every backend routes here today; the
 // eigenbasis projections accumulate in state-ascending order in any case.
+//
+//plk:hotpath
 func (c *sumSpanCtx) processGeneric(run schedule.Run) int {
 	s := c.s
 	count := 0
@@ -243,7 +245,7 @@ func (e *Engine) BranchDerivatives(z []float64, active []bool, d1, d2 []float64)
 			}
 			var t0 time.Time
 			if e.measure {
-				t0 = time.Now()
+				t0 = time.Now() //plk:allow(timenow) measured-cost attribution; never feeds likelihood values
 			}
 			ops += e.derivativePartition(ip, z[ip], w, partials, ex)
 			if e.measure {
@@ -336,6 +338,8 @@ func (c *derivSpanCtx) process(run schedule.Run) (float64, float64, int) {
 // processGeneric is the derivative body shared by every backend: it reads
 // only the sumtable, which is pattern-major under all of them. Partials are
 // accumulated in ascending pattern order within the run.
+//
+//plk:hotpath
 func (c *derivSpanCtx) processGeneric(run schedule.Run) (float64, float64, int) {
 	cs := c.cs
 	dd1, dd2 := 0.0, 0.0

@@ -11,6 +11,12 @@
 // public operation takes an optional per-partition activity mask, which is
 // the mechanism behind both oldPAR (one active partition at a time) and
 // newPAR (all non-converged partitions at once).
+//
+// The whole package is a deterministic scope: likelihoods must be
+// bit-identical across runs and executor shapes (see DESIGN.md "Static
+// analysis and enforced invariants").
+//
+//plk:deterministic
 package core
 
 import (
@@ -60,7 +66,7 @@ type Engine struct {
 	// contexts dispatch their pattern loops through it.
 	kernels []KernelBackend
 
-	holder       *ScheduleHolder
+	holder       *ScheduleHolder //plk:holder
 	sched        *schedule.Schedule
 	schedVersion int64
 	allMask      []bool // cached all-true partition mask (activeOrAll)
@@ -383,7 +389,7 @@ func (e *Engine) activeOrAll(active []bool) []bool {
 // is set — two clock reads per (region, step, partition, worker), paid only
 // by measured-strategy sessions.
 func (e *Engine) chargePartition(w, ip int, t0 time.Time) {
-	e.partSecs[w][ip] += time.Since(t0).Seconds()
+	e.partSecs[w][ip] += time.Since(t0).Seconds() //plk:allow(timenow) measured-cost attribution; never feeds likelihood values
 	e.partPats[w][ip] += float64(runsPatternCount(e.workRuns(w, ip)))
 }
 

@@ -40,7 +40,7 @@ func (e *Engine) Evaluate(p *tree.Node, active []bool) (float64, []float64) {
 			}
 			var t0 time.Time
 			if e.measure {
-				t0 = time.Now()
+				t0 = time.Now() //plk:allow(timenow) measured-cost attribution; never feeds likelihood values
 			}
 			partials[ip], ops = e.evaluatePartition(p, q, ip, w, pm, ops)
 			if e.measure {
@@ -70,6 +70,8 @@ func (e *Engine) Evaluate(p *tree.Node, active []bool) (float64, []float64) {
 // through the layout strides. When the q-side tip table is built, its row
 // already holds the P applications. The accumulation runs in (cat asc, state
 // asc) order — the order every backend must preserve for bit-identity.
+//
+//plk:hotpath
 func (c *evalSpanCtx) patternLi(j, off int) float64 {
 	s, cats := c.s, c.cats
 	li := 0.0
@@ -234,6 +236,8 @@ func (c *evalSpanCtx) process(run schedule.Run) (float64, int) {
 }
 
 // processGeneric is the layout-aware generic evaluate body.
+//
+//plk:hotpath
 func (c *evalSpanCtx) processGeneric(run schedule.Run) (float64, int) {
 	sum := 0.0
 	count := 0
@@ -249,6 +253,8 @@ func (c *evalSpanCtx) processGeneric(run schedule.Run) (float64, int) {
 // likelihood: normalize by the category count, fold in the scaling exponents
 // of both branch ends, clamp, and take the log. It is the shared tail of
 // every backend's evaluate body and of SiteLogLikelihoods.
+//
+//plk:hotpath
 func (c *evalSpanCtx) site(i, j int, rawLi float64) float64 {
 	li := rawLi * c.invCats
 	sc := int32(0)

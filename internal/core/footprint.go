@@ -71,7 +71,7 @@ func (sh *Shared) MemoryFootprint() MemoryFootprint {
 	}
 	sh.mu.Lock()
 	f.Schedules = 24 * int64(len(sh.spans)) // Span{Lo, Hi int; Cost float64}
-	for _, h := range sh.holders {
+	for _, h := range sh.holders {          //plk:allow(maprange) commutative int accumulation; order-free
 		s, _ := h.Current()
 		f.Schedules += s.MemoryBytes()
 	}

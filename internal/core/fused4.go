@@ -29,6 +29,8 @@ import (
 
 // small4 reports whether all four values fall inside (-2^-256, 2^-256) —
 // one pattern-category quartet's contribution to the scaling predicate.
+//
+//plk:hotpath
 func small4(a, b, c, d float64) bool {
 	return a < minLikelihood && a > -minLikelihood &&
 		b < minLikelihood && b > -minLikelihood &&
@@ -42,6 +44,8 @@ func small4(a, b, c, d float64) bool {
 // threshold, or Specialize off) falls back to the stride-aware generic body —
 // the generic and fused bodies are bit-identical, so mixing them across
 // chunks of one span can never change results.
+//
+//plk:hotpath
 func (c *nvSpanCtx) processFused4(run schedule.Run) int {
 	if (c.qTip && c.tabQ == nil) || (c.rTip && c.tabR == nil) {
 		return c.processGeneric(run)
@@ -184,6 +188,8 @@ func (c *nvSpanCtx) processFused4(run schedule.Run) int {
 // loop outside and unrolls the per-category work; the `li + x0 + x1 + x2 +
 // x3` expressions associate exactly like the generic `li += x` loop. A q-side
 // tip without a table falls back to the generic body.
+//
+//plk:hotpath
 func (c *evalSpanCtx) processFused4(run schedule.Run) (float64, int) {
 	if c.qTip && c.qTab == nil {
 		return c.processGeneric(run)

@@ -59,7 +59,7 @@ func (e *Engine) ExecuteSteps(steps []tree.TraversalStep, active []bool) {
 				}
 				var t0 time.Time
 				if e.measure {
-					t0 = time.Now()
+					t0 = time.Now() //plk:allow(timenow) measured-cost attribution; never feeds likelihood values
 				}
 				ops += e.newviewPartition(st, ip, w, pmQ, pmR)
 				if e.measure {
@@ -208,6 +208,8 @@ func (c *nvSpanCtx) process(run schedule.Run) int {
 // exact operation sequence; under the cat-major layout only the addresses
 // change, so the two layouts (and the fused kernels, which preserve the same
 // left-associated accumulation order) produce bit-identical CLVs.
+//
+//plk:hotpath
 func (c *nvSpanCtx) processGeneric(run schedule.Run) int {
 	s, cs, cats := c.s, c.cs, c.cats
 	ss := s * s
@@ -299,6 +301,8 @@ func (c *nvSpanCtx) processGeneric(run schedule.Run) int {
 // asc, state asc) order under either layout; it is order-independent anyway
 // (all entries must be small), and the multiplication touches every entry, so
 // scaling is layout- and backend-invariant.
+//
+//plk:hotpath
 func (c *nvSpanCtx) finishPattern(i, off int) {
 	sc := int32(0)
 	if !c.qTip {

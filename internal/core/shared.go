@@ -25,6 +25,8 @@ type versionedSchedule struct {
 // mid-region keep the pointer they pinned, so a swap can never disturb a
 // running region. Static strategies (cyclic, block, weighted) are published
 // once and never swapped; the measured strategy is republished by Rebalance.
+//
+//plk:holder
 type ScheduleHolder struct {
 	v atomic.Pointer[versionedSchedule]
 }
@@ -79,9 +81,9 @@ type Shared struct {
 	spans []schedule.Span // per-partition pattern ranges with op costs
 
 	mu         sync.Mutex
-	holders    map[schedule.Strategy]*ScheduleHolder
-	baseCosts  []float64 // per-partition per-pattern costs at batch width 1
-	batchWidth int       // live replicate batch width pricing the spans (>= 1)
+	holders    map[schedule.Strategy]*ScheduleHolder //plk:holder
+	baseCosts  []float64                             // per-partition per-pattern costs at batch width 1
+	batchWidth int                                   // live replicate batch width pricing the spans (>= 1)
 }
 
 // NewShared computes the session-independent engine state for one dataset
@@ -267,7 +269,7 @@ func (sh *Shared) SetBatchWidth(R int) error {
 	for i := range sh.spans {
 		sh.spans[i].Cost = sh.baseCosts[i] + batchLaneOps*float64(R-1)
 	}
-	for strat, h := range sh.holders {
+	for strat, h := range sh.holders { //plk:allow(maprange) per-holder independent updates; order-free
 		if strat == schedule.Measured {
 			// Scale the measured pack's observed (seconds-per-pattern) costs by
 			// the madd-unit repricing ratio — unit-free, so learned relative

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The bounds-check-elimination gate. The fused 4-state kernels earn their
+// ~2.15x by keeping the per-pattern hot expressions free of bounds checks
+// (exact three-index subslices, contiguous category planes); the benchmark
+// floor would eventually notice a regression, but only noisily and only on
+// the bench host. This gate protects the property structurally: it rebuilds
+// a package with the compiler's -d=ssa/check_bce diagnostic, counts the
+// emitted "Found IsInBounds"/"Found IsSliceInBounds" sites per file, and
+// fails when any file exceeds its ceiling in the committed allowlist
+// (internal/lint/bce_allow.txt). A file that *gains* a bounds check in a
+// hot expression jumps past its ceiling immediately; legitimate changes
+// refresh the allowlist with `go run ./cmd/plkvet -bce-rewrite` and review
+// the diff like any other.
+//
+// Counts are a property of the compiler as well as the source, so each
+// entry is either `strict` — enforced under every toolchain (the fused
+// kernel files, whose subslice-site counts are structural) — or plain,
+// enforced only under the Go minor version recorded in the allowlist
+// header (generic-path counts may shift between compiler releases).
+
+// bceLine matches one compiler bounds-check diagnostic.
+var bceLine = regexp.MustCompile(`^(\S+\.go):(\d+):(\d+): Found Is(Slice)?InBounds$`)
+
+// BCEResult is the outcome of one bounds-check-elimination gate run.
+type BCEResult struct {
+	// Sites counts emitted bounds-check sites per module-relative file.
+	Sites map[string]int
+	// Problems are gate violations; a non-empty list fails plkvet/CI.
+	Problems []string
+	// Notes are informational (ceiling slack, version-skipped entries).
+	Notes []string
+}
+
+// bceAllow is one parsed allowlist entry.
+type bceAllow struct {
+	file   string
+	max    int
+	strict bool
+}
+
+// CheckBCE rebuilds pkg (an import path or ./-relative pattern) inside the
+// module at modDir with -d=ssa/check_bce and compares the emitted
+// bounds-check sites against the allowlist at allowPath.
+func CheckBCE(modDir, pkg, allowPath string) (*BCEResult, error) {
+	allows, allowGo, err := readBCEAllowlist(allowPath)
+	if err != nil {
+		return nil, err
+	}
+	sites, err := bceSites(modDir, pkg)
+	if err != nil {
+		return nil, err
+	}
+	res := &BCEResult{Sites: sites}
+	sameToolchain := allowGo == "" || allowGo == goMinor(runtime.Version())
+
+	files := make([]string, 0, len(sites))
+	for f := range sites {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		n := sites[f]
+		a, ok := allows[f]
+		if !ok {
+			res.Problems = append(res.Problems,
+				fmt.Sprintf("%s: %d bounds-check sites but no allowlist entry in %s (add one deliberately or eliminate the checks)", f, n, allowPath))
+			continue
+		}
+		switch {
+		case n > a.max && (a.strict || sameToolchain):
+			res.Problems = append(res.Problems,
+				fmt.Sprintf("%s: %d bounds-check sites, allowlist ceiling is %d — a hot expression regained its bounds check", f, n, a.max))
+		case n > a.max:
+			res.Notes = append(res.Notes,
+				fmt.Sprintf("%s: %d sites over ceiling %d ignored (allowlist was generated with go%s, running %s)", f, n, a.max, allowGo, runtime.Version()))
+		case n < a.max:
+			res.Notes = append(res.Notes,
+				fmt.Sprintf("%s: %d sites, ceiling %d — tighten with -bce-rewrite", f, n, a.max))
+		}
+	}
+	return res, nil
+}
+
+// RewriteBCEAllowlist regenerates the allowlist at allowPath from the
+// current compiler output, preserving the strict markers of existing
+// entries (files newly gaining checks default to non-strict).
+func RewriteBCEAllowlist(modDir, pkg, allowPath string) error {
+	strict := make(map[string]bool)
+	if prev, _, err := readBCEAllowlist(allowPath); err == nil {
+		for f, a := range prev {
+			strict[f] = a.strict
+		}
+	}
+	sites, err := bceSites(modDir, pkg)
+	if err != nil {
+		return err
+	}
+	files := make([]string, 0, len(sites))
+	for f := range sites {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	var b strings.Builder
+	b.WriteString("# plkvet bounds-check-elimination allowlist: per-file ceilings on the\n")
+	b.WriteString("# bounds-check sites `go build -gcflags=-d=ssa/check_bce` reports.\n")
+	b.WriteString("# `strict` entries are enforced under every toolchain; plain entries\n")
+	b.WriteString("# only under the generating Go minor version below (generic-path counts\n")
+	b.WriteString("# may shift between compiler releases).\n")
+	b.WriteString("# Refresh deliberately with: go run ./cmd/plkvet -bce-rewrite\n")
+	fmt.Fprintf(&b, "#go %s\n", goMinor(runtime.Version()))
+	for _, f := range files {
+		fmt.Fprintf(&b, "%s %d", f, sites[f])
+		if strict[f] {
+			b.WriteString(" strict")
+		}
+		b.WriteString("\n")
+	}
+	return os.WriteFile(allowPath, []byte(b.String()), 0o644)
+}
+
+// bceSites compiles pkg with the check_bce debug flag and returns the
+// per-file count of emitted bounds-check sites.
+func bceSites(modDir, pkg string) (map[string]int, error) {
+	importPath, err := goOutput(modDir, "list", pkg)
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolving %s: %v", pkg, err)
+	}
+	importPath = strings.TrimSpace(importPath)
+	cmd := exec.Command("go", "build", "-gcflags="+importPath+"=-d=ssa/check_bce", pkg)
+	cmd.Dir = modDir
+	var errb bytes.Buffer
+	cmd.Stderr = &errb
+	// The debug flag makes the compile uncacheable, so the diagnostics are
+	// emitted on every run; a build error still fails here.
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go build %s: %v\n%s", pkg, err, errb.String())
+	}
+	sites := make(map[string]int)
+	for _, line := range strings.Split(errb.String(), "\n") {
+		if m := bceLine.FindStringSubmatch(strings.TrimSpace(line)); m != nil {
+			sites[m[1]]++
+		}
+	}
+	return sites, nil
+}
+
+// readBCEAllowlist parses the allowlist: one `file max [strict]` entry per
+// line, `#go <minor>` recording the generating toolchain.
+func readBCEAllowlist(path string) (map[string]bceAllow, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	allows := make(map[string]bceAllow)
+	goVer := ""
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "#go "); ok {
+				goVer = strings.TrimSpace(rest)
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 || len(fields) > 3 || (len(fields) == 3 && fields[2] != "strict") {
+			return nil, "", fmt.Errorf("lint: %s:%d: malformed allowlist line %q (want: file max [strict])", path, i+1, line)
+		}
+		max, err := strconv.Atoi(fields[1])
+		if err != nil || max < 0 {
+			return nil, "", fmt.Errorf("lint: %s:%d: bad ceiling in %q", path, i+1, line)
+		}
+		allows[fields[0]] = bceAllow{file: fields[0], max: max, strict: len(fields) == 3}
+	}
+	return allows, goVer, nil
+}
+
+// goOutput runs the go tool in dir and returns stdout.
+func goOutput(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	return out.String(), nil
+}
+
+// goMinor reduces "go1.24.0" to "1.24".
+func goMinor(v string) string {
+	v = strings.TrimPrefix(v, "go")
+	parts := strings.Split(v, ".")
+	if len(parts) >= 2 {
+		return parts[0] + "." + parts[1]
+	}
+	return v
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// bceFixture is a deliberately de-optimized kernel: a[i] under a
+// data-dependent index the compiler cannot prove in bounds, so the
+// check_bce build always reports at least one site for it.
+const bceFixture = `package k
+
+// Gather sums a at data-dependent indices; the a[i] bounds check cannot be
+// eliminated.
+func Gather(a []float64, idx []int) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += a[i]
+	}
+	return s
+}
+`
+
+// writeBCEModule lays out a throwaway module with the fixture kernel and
+// returns its root.
+func writeBCEModule(t *testing.T) string {
+	t.Helper()
+	mod := t.TempDir()
+	if err := os.WriteFile(filepath.Join(mod, "go.mod"), []byte("module fixture\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Mkdir(filepath.Join(mod, "k"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(mod, "k", "k.go"), []byte(bceFixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestBCEGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rebuilds a package with the compiler's check_bce flag")
+	}
+	mod := writeBCEModule(t)
+	allow := filepath.Join(mod, "bce_allow.txt")
+
+	// A rewrite followed by a check is always clean: the ceilings match the
+	// compiler output that generated them.
+	if err := RewriteBCEAllowlist(mod, "./k", allow); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	res, err := CheckBCE(mod, "./k", allow)
+	if err != nil {
+		t.Fatalf("check after rewrite: %v", err)
+	}
+	if len(res.Problems) != 0 {
+		t.Fatalf("fresh allowlist reports problems: %v", res.Problems)
+	}
+	if res.Sites["k/k.go"] == 0 {
+		t.Fatalf("fixture kernel reported no bounds-check sites: %v", res.Sites)
+	}
+
+	// Tightening the ceiling to zero must fail the gate: this is the
+	// "reintroduced bounds check" regression the gate exists for. The strict
+	// marker makes the entry toolchain-independent.
+	if err := os.WriteFile(allow, []byte("#go 1.22\nk/k.go 0 strict\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err = CheckBCE(mod, "./k", allow)
+	if err != nil {
+		t.Fatalf("check against zero ceiling: %v", err)
+	}
+	if len(res.Problems) != 1 || !strings.Contains(res.Problems[0], "regained its bounds check") {
+		t.Fatalf("zero-ceiling check: want one over-ceiling problem, got %v", res.Problems)
+	}
+
+	// A file with sites but no entry is always a problem, strict or not.
+	if err := os.WriteFile(allow, []byte("#go 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err = CheckBCE(mod, "./k", allow)
+	if err != nil {
+		t.Fatalf("check against empty allowlist: %v", err)
+	}
+	if len(res.Problems) != 1 || !strings.Contains(res.Problems[0], "no allowlist entry") {
+		t.Fatalf("missing-entry check: want one problem, got %v", res.Problems)
+	}
+
+	// A non-strict entry generated under a different toolchain minor is
+	// advisory, not binding: over-ceiling demotes to a note.
+	if err := os.WriteFile(allow, []byte("#go 1.2\nk/k.go 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err = CheckBCE(mod, "./k", allow)
+	if err != nil {
+		t.Fatalf("check against stale-toolchain allowlist: %v", err)
+	}
+	if len(res.Problems) != 0 {
+		t.Fatalf("stale non-strict entry should not bind, got %v", res.Problems)
+	}
+	if len(res.Notes) == 0 {
+		t.Fatal("stale non-strict over-ceiling should at least leave a note")
+	}
+}
+
+func TestReadBCEAllowlist(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "allow.txt")
+	if err := os.WriteFile(path, []byte("# header\n#go 1.24\na.go 3\nb.go 5 strict\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	allows, goVer, err := readBCEAllowlist(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goVer != "1.24" {
+		t.Fatalf("goVer = %q, want 1.24", goVer)
+	}
+	if a := allows["a.go"]; a.max != 3 || a.strict {
+		t.Fatalf("a.go = %+v", a)
+	}
+	if b := allows["b.go"]; b.max != 5 || !b.strict {
+		t.Fatalf("b.go = %+v", b)
+	}
+
+	for _, bad := range []string{"a.go\n", "a.go x\n", "a.go 3 lax\n", "a.go -1\n"} {
+		if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := readBCEAllowlist(path); err == nil {
+			t.Errorf("allowlist %q parsed without error", strings.TrimSpace(bad))
+		}
+	}
+}
+
+func TestGoMinor(t *testing.T) {
+	for in, want := range map[string]string{
+		"go1.24.0": "1.24",
+		"go1.22":   "1.22",
+		"devel":    "devel",
+	} {
+		if got := goMinor(in); got != want {
+			t.Errorf("goMinor(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// holderTarget describes one annotated publication point: either a whole
+// type (every field guarded) or a single struct field.
+type holderTarget struct {
+	owner    *types.TypeName // the declaring named type
+	declFile string          // file holding the type declaration
+}
+
+// HolderDiscipline enforces the atomic-publication discipline of
+// //plk:holder annotations: a field annotated plk:holder — or any field of
+// a type annotated plk:holder — may only be accessed by methods of the
+// declaring type or by code in the file that declares the type. Everyone
+// else must go through the type's methods (Current/publish on
+// ScheduleHolder, HolderFor/RebalanceMeasured on Shared), which is what
+// makes schedule swaps race-free: sessions can only observe a rebuilt
+// schedule through the versioned atomic load at their own region boundary,
+// never by poking the slot directly.
+var HolderDiscipline = &Analyzer{
+	Name: "holderdiscipline",
+	Doc:  "restrict //plk:holder fields to the declaring type's methods and file",
+	Run:  runHolderDiscipline,
+}
+
+func runHolderDiscipline(pass *Pass) {
+	info := pass.TypesInfo()
+	fset := pass.Fset()
+
+	guardedTypes := make(map[*types.TypeName]holderTarget) // plk:holder on the type
+	guardedFields := make(map[*types.Var]holderTarget)     // plk:holder on a field
+	fieldOwners := make(map[*types.Var]*types.TypeName)    // every struct field -> declaring type
+
+	// Pass 1: collect annotations and field ownership from type declarations.
+	for _, file := range pass.Files() {
+		fname := fset.Position(file.Pos()).Filename
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				tn, ok := info.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				target := holderTarget{owner: tn, declFile: fname}
+				if hasDirective(ts.Doc, dirHolder) || (ts.Doc == nil && hasDirective(gd.Doc, dirHolder)) {
+					guardedTypes[tn] = target
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, f := range st.Fields.List {
+					annotated := hasDirective(f.Doc, dirHolder) || hasDirective(f.Comment, dirHolder)
+					for _, name := range f.Names {
+						fv, ok := info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						fieldOwners[fv] = tn
+						if annotated {
+							guardedFields[fv] = target
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(guardedTypes) == 0 && len(guardedFields) == 0 {
+		return
+	}
+
+	// Pass 2: check every field selection against the discipline.
+	for _, file := range pass.Files() {
+		fname := fset.Position(file.Pos()).Filename
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			recv := receiverTypeName(info, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				s := info.Selections[sel]
+				if s == nil || s.Kind() != types.FieldVal {
+					return true
+				}
+				fv, ok := s.Obj().(*types.Var)
+				if !ok {
+					return true
+				}
+				target, guarded := guardedFields[fv]
+				if !guarded {
+					owner := fieldOwners[fv]
+					if owner == nil {
+						owner = namedTypeName(s.Recv())
+					}
+					if owner != nil {
+						if t, ok := guardedTypes[owner]; ok {
+							target, guarded = t, true
+						}
+					}
+				}
+				if !guarded {
+					return true
+				}
+				if recv == target.owner || fname == target.declFile {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(), "holder",
+					"direct access to holder field %s.%s outside its methods: go through the publishing/loading methods of %s",
+					target.owner.Name(), fv.Name(), target.owner.Name())
+				return true
+			})
+		}
+	}
+}
+
+// receiverTypeName resolves a method's receiver to its named type (nil for
+// plain functions).
+func receiverTypeName(info *types.Info, fd *ast.FuncDecl) *types.TypeName {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	return namedTypeName(t)
+}
+
+// namedTypeName unwraps pointers and returns the named type's object.
+func namedTypeName(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}

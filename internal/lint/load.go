@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package — the unit the
+// analyzers run over. Test files are not loaded: the invariants the suite
+// enforces live in production code, and fixtures carry their own packages.
+type Package struct {
+	// ImportPath is the package's import path (e.g. phylo/internal/core).
+	ImportPath string
+	// Dir is the package's source directory.
+	Dir string
+	// Fset maps every parsed position (shared across the load).
+	Fset *token.FileSet
+	// Files are the parsed non-test source files, with comments.
+	Files []*ast.File
+	// Types is the type-checked package object (nil when checking failed).
+	Types *types.Package
+	// TypesInfo records expression types, uses, defs, and selections.
+	TypesInfo *types.Info
+	// Errs collects parse and type errors (load keeps going; plkvet fails).
+	Errs []error
+
+	directives *directiveIndex
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates, parses, and type-checks the packages matching patterns
+// inside the module rooted at (or containing) dir. It is a minimal,
+// stdlib-only stand-in for golang.org/x/tools/go/packages: `go list -export
+// -deps` supplies the file lists plus compiled export data for every
+// dependency, the dependencies are imported from that export data, and only
+// the matched packages themselves are type-checked from source. The loader
+// therefore needs no network and no third-party code, at the price of
+// shelling out to the go tool once per call.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, errb.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(&out)
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("lint: no packages match %s", strings.Join(patterns, " "))
+	}
+
+	fset := token.NewFileSet()
+	// The gc importer reads the export data `go list -export` just compiled,
+	// so dependencies (including the standard library) import instantly and
+	// only the target packages pay for a source-level type check.
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		pkg := &Package{ImportPath: lp.ImportPath, Dir: lp.Dir, Fset: fset}
+		if lp.Error != nil {
+			pkg.Errs = append(pkg.Errs, errors.New(lp.Error.Err))
+		}
+		if len(lp.CgoFiles) > 0 {
+			pkg.Errs = append(pkg.Errs, fmt.Errorf("lint: %s uses cgo, which the loader does not support", lp.ImportPath))
+			pkgs = append(pkgs, pkg)
+			continue
+		}
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				pkg.Errs = append(pkg.Errs, err)
+				continue
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		if len(pkg.Files) == 0 {
+			pkgs = append(pkgs, pkg)
+			continue
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { pkg.Errs = append(pkg.Errs, err) },
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, pkg.Files, info)
+		if err != nil && len(pkg.Errs) == 0 {
+			pkg.Errs = append(pkg.Errs, err)
+		}
+		pkg.Types = tpkg
+		pkg.TypesInfo = info
+		pkg.directives = indexDirectives(fset, pkg.Files)
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RegionCtx enforces the cancellation-point convention in packages
+// annotated //plk:regions: context state (ctx.Err, ctx.Done, ctx.Deadline)
+// may only be consulted by functions annotated //plk:regionboundary — the
+// round- and region-boundary hooks where the optimizers poll for
+// cancellation. Consulting a context anywhere else (above all inside a
+// kernel span) would either tear a region mid-flight or smuggle
+// wall-clock-dependent control flow into the deterministic kernels. Passing
+// a ctx through to a callee is fine; only reading its state is gated.
+var RegionCtx = &Analyzer{
+	Name: "regionctx",
+	Doc:  "restrict ctx.Err/Done/Deadline in //plk:regions packages to //plk:regionboundary functions",
+	Run:  runRegionCtx,
+}
+
+func runRegionCtx(pass *Pass) {
+	if !pass.Pkg.directives.pkgHas(dirRegions) {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if hasDirective(fd.Doc, dirRegionBoundary) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Err", "Done", "Deadline":
+				default:
+					return true
+				}
+				if t := info.TypeOf(sel.X); t != nil && isContext(t) {
+					pass.Reportf(call.Pos(), "regionctx",
+						"ctx.%s consulted outside a //plk:regionboundary function: cancellation is polled only at region boundaries",
+						sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	}
+}

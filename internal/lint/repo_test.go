@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestRepoInvariants runs the full analyzer suite plus the BCE gate over
+// the repository itself, so a plain `go test ./...` enforces the same
+// invariants CI's plkvet step does. Skipped under -short: it type-checks
+// every package and rebuilds internal/core with the check_bce flag.
+func TestRepoInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository")
+	}
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, e := range p.Errs {
+			t.Errorf("loading %s: %v", p.ImportPath, e)
+		}
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Error(d.String())
+	}
+
+	res, err := CheckBCE("../..", "./internal/core", "bce_allow.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Problems {
+		t.Errorf("bce: %s", p)
+	}
+}

@@ -1,0 +1,61 @@
+// Package det is the determinism-analyzer fixture: the package doc makes
+// every function in it a deterministic scope.
+//
+//plk:deterministic
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func mapRange(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want "maprange"
+		s += v
+	}
+	return s
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want "maprange"
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func waivedRange(m map[string]int) int {
+	s := 0
+	for _, v := range m { //plk:allow(maprange) commutative int sum for the fixture
+		s += v
+	}
+	return s
+}
+
+func globalRand() int {
+	r := rand.New(rand.NewSource(42)) // seeded constructor is the sanctioned form
+	a := r.Intn(10)
+	b := rand.Intn(10)                 // want "globalrand"
+	rand.Shuffle(2, func(i, j int) {}) // want "globalrand"
+	return a + b
+}
+
+func clock() time.Duration {
+	t0 := time.Now()    // want "timenow"
+	d := time.Since(t0) // want "timenow"
+	return d
+}
+
+func waivedClock() time.Time {
+	return time.Now() //plk:allow(timenow) fixture timing attribution
+}
+
+func spawn(ch chan int) int {
+	go send(ch) // want "gostmt"
+	return <-ch
+}
+
+func send(ch chan int) { ch <- 1 }

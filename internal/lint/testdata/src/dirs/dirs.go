@@ -1,0 +1,24 @@
+// Package dirs is the directive-hygiene fixture.
+//
+//plk:allow(maprange) pointless // want "no effect in a package doc"
+package dirs
+
+//plk:frobnicate // want "unknown directive"
+func typo() {}
+
+// want+2 "needs a reason"
+//
+//plk:allow(maprange)
+func reasonless(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+//plk:allow(maprange // want "malformed"
+func unclosed() {}
+
+//plk:hotpath
+func fine(xs []float64) float64 { return xs[0] }

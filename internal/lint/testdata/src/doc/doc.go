@@ -1,0 +1,36 @@
+// Package doc is the doclint fixture.
+//
+//plk:documented
+package doc
+
+// Good is documented.
+func Good() {}
+
+func Bad() {} // want "no doc comment"
+
+// wrong lead-in.
+func Mislabeled() {} // want "should start with"
+
+// T is documented.
+type T struct {
+	// A is documented.
+	A int
+	// want+2 "no doc comment"
+
+	B int
+}
+
+// M is documented.
+func (T) M() {}
+
+func (T) N() {} // want "no doc comment"
+
+// internal things need no docs.
+type hidden struct{ x int }
+
+func (hidden) m() {}
+
+// Answer is documented.
+const Answer = 42
+
+const Bare = 1 // want "no doc comment"

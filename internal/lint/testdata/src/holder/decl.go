@@ -1,0 +1,30 @@
+// Package holder is the holderdiscipline fixture: Slot is guarded as a
+// whole type, Registry guards a single field.
+package holder
+
+import "sync/atomic"
+
+// Slot is an atomically published holder; every field is guarded.
+//
+//plk:holder
+type Slot struct {
+	v atomic.Pointer[int]
+}
+
+// Load is the sanctioned read path.
+func (s *Slot) Load() *int { return s.v.Load() }
+
+// Store is the sanctioned write path.
+func (s *Slot) Store(p *int) { s.v.Store(p) }
+
+// sameFile may poke the field: it lives in the declaring file.
+func sameFile(s *Slot) *int { return s.v.Load() }
+
+// Registry guards only its slots field.
+type Registry struct {
+	name  string
+	slots map[string]*Slot //plk:holder
+}
+
+// Get is the sanctioned accessor.
+func (r *Registry) Get(k string) *Slot { return r.slots[k] }

@@ -1,0 +1,14 @@
+package holder
+
+func poke(s *Slot) *int {
+	return s.v.Load() // want "holder"
+}
+
+func pokeField(r *Registry) *Slot {
+	_ = r.name          // unguarded field is fine
+	return r.slots["x"] // want "holder"
+}
+
+func sanctioned(r *Registry) *Slot {
+	return r.Get("x") // going through the accessor is fine
+}

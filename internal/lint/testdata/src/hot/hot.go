@@ -1,0 +1,91 @@
+// Package hot is the hotpath-analyzer fixture: only functions annotated
+// //plk:hotpath are checked.
+package hot
+
+import "context"
+
+type boxer interface{ M() }
+
+type impl struct{}
+
+func (impl) M() {}
+
+func sink(b boxer)        { b.M() }
+func varSink(vs ...boxer) {}
+func drain(ch chan int)   {}
+
+// unchecked has no annotation, so anything goes.
+func unchecked() []int {
+	return append([]int{}, 1)
+}
+
+//plk:hotpath
+func badCtx(ctx context.Context, xs []float64) float64 { // want "ctx"
+	return xs[0]
+}
+
+//plk:hotpath
+func badAlloc(xs []float64) []float64 {
+	xs = append(xs, 1) // want "alloc"
+	p := new(int)      // want "alloc"
+	_ = p
+	m := make([]int, 4) // want "alloc"
+	_ = m
+	s := []int{1, 2} // want "alloc"
+	_ = s
+	a := [2]int{1, 2} // fixed-size array literal stays on the stack
+	_ = a
+	return xs
+}
+
+//plk:hotpath
+func badClosure(xs []float64) float64 {
+	f := func() float64 { return xs[0] } // want "closure"
+	return f()
+}
+
+//plk:hotpath
+func badDefer(f func()) {
+	defer f() // want "defer"
+}
+
+//plk:hotpath
+func badConc(ch chan int) int {
+	go drain(ch) // want "gostmt"
+	ch <- 1      // want "chan"
+	return <-ch  // want "chan"
+}
+
+//plk:hotpath
+func badMap(m map[string]int) int {
+	s := m["k"]           // want "map"
+	for _, v := range m { // want "map"
+		s += v
+	}
+	return s
+}
+
+//plk:hotpath
+func badIface(i impl, bs []boxer) {
+	_ = boxer(i) // want "iface"
+	sink(i)      // want "iface"
+	varSink(i)   // want "iface"
+	var b boxer
+	b = i // want "iface"
+	b = nil
+	varSink(bs...) // forwarding an existing slice does not box
+	sink(b)        // passing an existing interface value does not box
+}
+
+// clean is a well-behaved kernel body: indexing, arithmetic, and method
+// calls through an already-interface value.
+//
+//plk:hotpath
+func clean(xs []float64, b boxer) float64 {
+	b.M()
+	s := 0.0
+	for i := 0; i < len(xs); i++ {
+		s += xs[i]
+	}
+	return s
+}

@@ -1,0 +1,31 @@
+// Package region is the regionctx fixture: the package doc opts into the
+// region-boundary cancellation discipline.
+//
+//plk:regions
+package region
+
+import "context"
+
+// boundary is the sanctioned cancellation poll.
+//
+//plk:regionboundary
+func boundary(ctx context.Context) bool { return ctx.Err() != nil }
+
+func inner(ctx context.Context) error {
+	if ctx.Err() != nil { // want "regionctx"
+		return ctx.Err() // want "regionctx"
+	}
+	select {
+	case <-ctx.Done(): // want "regionctx"
+		return ctx.Err() // want "regionctx"
+	default:
+	}
+	return run(ctx) // passing ctx through is fine
+}
+
+func run(ctx context.Context) error {
+	if boundary(ctx) { // polling through the boundary helper is fine
+		return nil
+	}
+	return nil
+}

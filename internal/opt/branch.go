@@ -62,11 +62,15 @@ func (o *Optimizer) bind(ctx context.Context) {
 
 // cancelled reports whether the bound context has been cancelled. It is
 // polled between parallel regions, never inside one.
+//
+//plk:regionboundary
 func (o *Optimizer) cancelled() bool {
 	return o.ctx != nil && o.ctx.Err() != nil
 }
 
 // ctxErr returns the bound context's cancellation cause, or nil.
+//
+//plk:regionboundary
 func (o *Optimizer) ctxErr() error {
 	if o.ctx == nil {
 		return nil

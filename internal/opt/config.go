@@ -17,6 +17,12 @@
 //
 // Both strategies produce the same optima; they differ only in how the work
 // is cut into parallel regions, which the parallel.Stats counters expose.
+//
+// The package is region-structured: cancellation is consulted only at
+// synchronization-region boundaries (//plk:regionboundary functions), never
+// inside an optimizer iteration's kernel spans.
+//
+//plk:regions
 package opt
 
 import (

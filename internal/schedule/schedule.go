@@ -23,6 +23,11 @@
 //     the analytic cost model, then rebuilt from observed per-pattern costs
 //     (measured per-worker wall time attributed to partitions) via Rebalance
 //     whenever the measured imbalance crosses a hysteresis threshold.
+//
+// Schedules feed the deterministic kernels, so schedule construction is a
+// deterministic scope itself: equal inputs must yield equal assignments.
+//
+//plk:deterministic
 package schedule
 
 import (

@@ -11,6 +11,12 @@
 // short Newton-Raphson optimization of the insertion branch — the mixture of
 // narrow-and-frequent branch-length work that makes tree search the paper's
 // "practically most relevant case" for the load-balance problem.
+//
+// The package is region-structured: cancellation is consulted only at
+// round and insertion boundaries (//plk:regionboundary functions), never
+// mid-kernel.
+//
+//plk:regions
 package search
 
 import (
@@ -93,6 +99,8 @@ func New(e *core.Engine, cfg Config) *Searcher {
 
 // cancelled reports whether the search context has been cancelled; it is
 // polled at synchronization-region boundaries, never inside a region.
+//
+//plk:regionboundary
 func (s *Searcher) cancelled() bool {
 	return s.ctx != nil && s.ctx.Err() != nil
 }
@@ -102,6 +110,8 @@ func (s *Searcher) cancelled() bool {
 // boundary: any pruned subtree is restored first, the tree is re-smoothed
 // into a consistent state, and the returned Result carries the exact score
 // of that tree alongside the context's error — a usable partial result.
+//
+//plk:regionboundary
 func (s *Searcher) Run(ctx context.Context) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()

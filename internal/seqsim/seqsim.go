@@ -5,6 +5,11 @@
 // DNA alignments (d10_5000 ... d100_50000) and shape-faithful stand-ins for
 // the three real-world phylogenomic alignments (r26_21451, r24_16916,
 // r125_19839), per DESIGN.md substitution #2.
+//
+// Simulation is a deterministic scope: equal seeds must yield equal
+// alignments, so all randomness flows through a locally seeded *rand.Rand.
+//
+//plk:deterministic
 package seqsim
 
 import (

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"phylo"
@@ -290,6 +291,9 @@ func (c *DatasetCache) List() []DatasetInfo {
 			Refs:        e.refs,
 		})
 	}
+	// The entries map's iteration order is randomized; sort so /v1/datasets
+	// responses are stable across calls and runs.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -366,6 +366,8 @@ func (rt *Runtime) NextStep(w int, ctx *parallel.WorkerCtx) {
 // execution, at hand-out, so a chunk relayed through a chain of thieves is
 // not double-counted and the migrated fraction of processed patterns stays
 // in [0, 1].
+//
+//plk:hotpath
 func (rt *Runtime) Next(w int, ctx *parallel.WorkerCtx) int {
 	if !ctx.Concurrent {
 		ids := rt.loaded[w]
@@ -393,6 +395,8 @@ func (rt *Runtime) Next(w int, ctx *parallel.WorkerCtx) int {
 }
 
 // popBottom takes the bottom chunk of worker w's own deque.
+//
+//plk:hotpath
 func (rt *Runtime) popBottom(w int) (int, bool) {
 	d := &rt.deques[w]
 	for {
@@ -415,6 +419,8 @@ func (rt *Runtime) popBottom(w int) (int, bool) {
 // barrier. A worker that exits while another worker is mid-steal can miss
 // that in-flight batch; that costs at most one worker's tail overlap, never
 // correctness (the thief still executes every claimed chunk).
+//
+//plk:hotpath
 func (rt *Runtime) stealHalf(w int, ctx *parallel.WorkerCtx) bool {
 	var buf [maxStealBatch]int32
 	for {

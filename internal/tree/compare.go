@@ -92,12 +92,12 @@ func RobinsonFoulds(a, b *Tree) (int, error) {
 	sa := a.Bipartitions()
 	sb := b.Bipartitions()
 	d := 0
-	for s := range sa {
+	for s := range sa { //plk:allow(maprange) commutative int count; order-free
 		if !sb[s] {
 			d++
 		}
 	}
-	for s := range sb {
+	for s := range sb { //plk:allow(maprange) commutative int count; order-free
 		if !sa[s] {
 			d++
 		}

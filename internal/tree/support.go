@@ -107,7 +107,7 @@ func (sc *SupportCounter) Add(t *Tree) error {
 	if t.NumTips() != sc.numTips {
 		return fmt.Errorf("tree: support counter is for %d taxa, replicate tree has %d", sc.numTips, t.NumTips())
 	}
-	for key := range t.Bipartitions() {
+	for key := range t.Bipartitions() { //plk:allow(maprange) commutative int counts; order-free
 		sc.counts[key]++
 	}
 	sc.total++
@@ -126,7 +126,7 @@ func (sc *SupportCounter) Support(ref *Tree) (map[string]float64, error) {
 		return nil, fmt.Errorf("tree: support counter is for %d taxa, reference tree has %d", sc.numTips, ref.NumTips())
 	}
 	out := make(map[string]float64, sc.numTips-3)
-	for key := range ref.Bipartitions() {
+	for key := range ref.Bipartitions() { //plk:allow(maprange) fills a keyed map; no ordered output
 		if sc.total == 0 {
 			out[key] = 0
 			continue

@@ -10,6 +10,11 @@
 // visible through the node's other two records, i.e. it is valid "towards"
 // X's Back. Traversal descriptors (see traversal.go) list the newview
 // operations needed to (re)establish validity for a chosen virtual root.
+//
+// Tree construction, traversal, and serialization are a deterministic scope:
+// Newick output and traversal descriptors must be identical across runs.
+//
+//plk:deterministic
 package tree
 
 import (

@@ -37,6 +37,11 @@
 //	lnl, _ := an.OptimizeModel(ctx)
 //	res, _ := an.Search(ctx)
 //	fmt.Println(res.LnL, an.TreeNewick())
+//
+// As the public facade, every exported identifier in this package must carry
+// a doc comment; plkvet's doclint analyzer enforces it.
+//
+//plk:documented
 package phylo
 
 import (
