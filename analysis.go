@@ -183,12 +183,22 @@ func (ds *Dataset) newAnalysis(o AnalysisOptions) (*Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Pool sessions are observed at the pool level (one observer for all
+	// sessions); private serial/virtual executors attach to the dataset's
+	// collector here.
+	if ds.collector != nil {
+		if oe, ok := exec.(parallel.ObservableExecutor); ok {
+			oe.SetObserver(ds.collector)
+		}
+	}
 	eng, err := core.NewSession(ds.shared, tr, models, exec, core.Options{
 		Specialize: true,
 		Schedule:   ds.opts.Schedule,
 		Steal:      ds.opts.Steal,
 		MinChunk:   o.MinChunk,
 		Backend:    ds.opts.Backend,
+		Metrics:    ds.opts.Metrics,
+		Tracer:     ds.opts.Trace,
 	})
 	if err != nil {
 		exec.Close()
@@ -530,6 +540,19 @@ func (an *Analysis) Stats() SyncStats {
 		StolenPatterns:  s.StolenPatterns,
 		WorkerSteals:    append([]float64(nil), s.WorkerSteals...),
 	}
+}
+
+// MetricsSnapshot returns the current samples of the metrics registry this
+// session's Dataset reports into — the facade's pull-based view of the same
+// families a plkd /metrics scrape exposes. It returns nil when the Dataset
+// was built without DatasetOptions.Metrics. The snapshot is registry-wide:
+// with several sessions or datasets sharing one registry, the samples
+// aggregate all of them.
+func (an *Analysis) MetricsSnapshot() []MetricSample {
+	if an.guard() != nil || an.ds.opts.Metrics == nil {
+		return nil
+	}
+	return an.ds.opts.Metrics.Snapshot()
 }
 
 // PlatformSeconds prices the session's recorded execution trace on one of

@@ -30,6 +30,7 @@ import (
 
 	"phylo/internal/bench"
 	"phylo/internal/core"
+	"phylo/internal/obs"
 	"phylo/internal/sigctx"
 )
 
@@ -45,6 +46,8 @@ func main() {
 		backendF   = flag.String("backend", "auto", "kernel backend for the session timings: auto | generic | fused (auto honors PLK_BACKEND, default fused)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measurement run to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation (heap) profile to this file at exit")
+		metricsF   = flag.Bool("metrics", false, "dump the timing loop's metrics registry (Prometheus text format) to stderr at exit")
+		traceOut   = flag.String("trace", "", "write a Chrome-trace-event JSON file of the timing loop's per-worker region spans to this path")
 	)
 	flag.Parse()
 
@@ -104,12 +107,25 @@ func main() {
 			}
 			counts = append(counts, t)
 		}
+		var mobs *bench.MicrobenchObs
+		if *metricsF || *traceOut != "" {
+			mobs = &bench.MicrobenchObs{}
+			if *metricsF {
+				mobs.Metrics = obs.NewRegistry()
+			}
+			if *traceOut != "" {
+				mobs.Tracer = obs.NewTracer(0)
+			}
+		}
 		var err error
-		rep, err = bench.Microbench(ctx, counts, *scale, *seed)
+		rep, err = bench.Microbench(ctx, counts, *scale, *seed, mobs)
 		if err != nil {
 			fatal(err)
 		}
 		writeReport(rep, *out)
+		if mobs != nil {
+			dumpObs(mobs, *traceOut)
+		}
 	}
 
 	if *check != "" {
@@ -182,6 +198,27 @@ func writeReport(rep *bench.MicrobenchReport, out string) {
 			float64(rep.DatasetBytes)/(1<<20))
 	}
 	fmt.Printf("wrote %s\n", out)
+}
+
+// dumpObs writes the optional observability artifacts: the metrics text goes
+// to stderr (stdout may be the report when -out -), the trace to its file.
+func dumpObs(mobs *bench.MicrobenchObs, tracePath string) {
+	if mobs.Metrics != nil {
+		if err := mobs.Metrics.WriteText(os.Stderr); err != nil {
+			fatal(err)
+		}
+	}
+	if mobs.Tracer != nil && tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := mobs.Tracer.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote trace %s (%d spans, %d dropped)\n", tracePath, mobs.Tracer.Len(), mobs.Tracer.Dropped())
+	}
 }
 
 func fatal(err error) {

@@ -49,6 +49,7 @@ func main() {
 		tenantInfl = flag.Int("tenant-inflight", 2, "per-tenant in-flight work-item quota")
 		tenantQ    = flag.Int("tenant-queue", 16, "per-tenant admission queue capacity (0 = fail fast)")
 		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "how long a drain waits before cancelling in-flight analyses")
+		pprofFlag  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the daemon mux")
 	)
 	flag.Parse()
 	if err := run(*addr, *addrFile, server.Config{
@@ -58,6 +59,7 @@ func main() {
 		CacheBytes:      *cacheMB << 20,
 		TenantInflight:  *tenantInfl,
 		TenantQueue:     *tenantQ,
+		EnablePprof:     *pprofFlag,
 	}, *schedFlag, *backendF, *drainTO); err != nil {
 		fmt.Fprintln(os.Stderr, "plkd:", err)
 		os.Exit(1)

@@ -59,6 +59,8 @@ func main() {
 		progress  = flag.Bool("progress", false, "stream per-round progress events")
 		sessions  = flag.Int("sessions", 1, "concurrent identical sessions over the one dataset")
 		bootstrap = flag.Int("bootstrap", 0, "after the analysis, run N batched bootstrap replicates (seeded by -seed) and print the support-annotated tree")
+		metricsF  = flag.Bool("metrics", false, "dump the full metrics registry (Prometheus text format) to stdout when the run completes")
+		traceOut  = flag.String("trace", "", "write a Chrome-trace-event JSON file of per-worker region spans to this path (open in chrome://tracing or Perfetto)")
 	)
 	flag.Parse()
 
@@ -84,17 +86,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Observability is always on: the flush-at-region-boundary design makes
+	// the registry free on the hot path, and the final per-worker summary
+	// line comes from it. -metrics and -trace only change what gets dumped.
+	reg := phylo.NewMetricsRegistry()
+	var tracer *phylo.Tracer
+	if *traceOut != "" {
+		tracer = phylo.NewTracer(0)
+	}
 	ds, err := phylo.NewDataset(al, phylo.DatasetOptions{
 		Threads:        *threads,
 		Schedule:       sched,
 		VirtualThreads: *virtual,
 		Steal:          *stealFlag,
 		Backend:        backend,
+		Metrics:        reg,
+		Trace:          tracer,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer ds.Close()
+	defer finishObs(reg, tracer, *metricsF, *traceOut, *threads)
 
 	aopts := phylo.AnalysisOptions{
 		Strategy:                  strat,
@@ -168,6 +181,75 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// finishObs prints the per-worker time/steal summary from the metrics
+// registry and performs the optional -metrics / -trace dumps. Runs on every
+// normal exit (deferred in main after the dataset is built).
+func finishObs(reg *phylo.MetricsRegistry, tracer *phylo.Tracer, dump bool, tracePath string, threads int) {
+	busy := make([]float64, threads)
+	steals := make([]float64, threads)
+	for _, s := range reg.Snapshot() {
+		if s.Name != "plk_worker_busy_seconds_total" && s.Name != "plk_steals_total" {
+			continue
+		}
+		w := -1
+		for _, l := range s.Labels {
+			if l.Key == "worker" {
+				fmt.Sscanf(l.Value, "%d", &w)
+			}
+		}
+		if w < 0 || w >= threads {
+			continue
+		}
+		if s.Name == "plk_worker_busy_seconds_total" {
+			busy[w] = s.Value
+		} else {
+			steals[w] = s.Value
+		}
+	}
+	maxB, sumB, sumS := 0.0, 0.0, 0.0
+	for w := 0; w < threads; w++ {
+		sumB += busy[w]
+		sumS += steals[w]
+		if busy[w] > maxB {
+			maxB = busy[w]
+		}
+	}
+	imb := 1.0
+	if avg := sumB / float64(threads); avg > 0 {
+		imb = maxB / avg
+	}
+	fmt.Printf("per-worker busy seconds: %s  time imbalance (max/avg): %.3f  steals: %s (%.0f total)\n",
+		fmtVec(busy, "%.3f"), imb, fmtVec(steals, "%.0f"), sumS)
+	if dump {
+		if err := reg.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "plkrun: writing metrics:", err)
+		}
+	}
+	if tracer != nil && tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plkrun: trace:", err)
+			return
+		}
+		defer f.Close()
+		if err := tracer.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "plkrun: writing trace:", err)
+			return
+		}
+		fmt.Printf("trace: %d span(s) written to %s (%d dropped at the buffer bound)\n",
+			tracer.Len(), tracePath, tracer.Dropped())
+	}
+}
+
+// fmtVec renders a small per-worker vector compactly.
+func fmtVec(v []float64, verb string) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf(verb, x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
 }
 
 // runBootstrap draws R batched bootstrap replicates over the finished

@@ -63,6 +63,20 @@ type DatasetOptions struct {
 	// bit-identical results. It is a Dataset option because the backend fixes
 	// the CLV memory layout all sessions share.
 	Backend KernelBackend
+	// Metrics, if non-nil, receives every observability family of this
+	// dataset and its sessions: region counts and duration histograms,
+	// per-worker busy/idle/ops/steal counters, kernel pattern/span/scaling
+	// counters, and rebalance activity. Instrumentation follows the
+	// flush-at-region-boundary design — per-worker scratch accumulates inside
+	// regions and folds into the registry after each barrier — so attaching a
+	// registry adds zero allocations and no per-pattern work to the hot path.
+	// Several datasets may share one registry.
+	Metrics *MetricsRegistry
+	// Trace, if non-nil, records one Chrome-trace span per worker per
+	// parallel region (plus rebalance instants) into the buffer, for offline
+	// timeline inspection. Tracing works with or without Metrics and shares
+	// the flush-at-region-boundary path, so it adds no hot-path work.
+	Trace *Tracer
 }
 
 // Dataset is the immutable, shareable result of the per-dataset setup work
@@ -80,6 +94,12 @@ type Dataset struct {
 	models []*model.Model // per-partition templates, cloned per session
 	pool   *parallel.Pool // shared across sessions; nil when 1 thread or virtual
 	opts   DatasetOptions
+
+	// collector folds per-worker region scratch into the metrics registry
+	// and trace buffer; nil unless Metrics or Trace was requested. The pool
+	// observes it directly; serial/virtual session executors attach to it in
+	// newAnalysis.
+	collector *parallel.MetricsCollector
 
 	mu     sync.Mutex
 	closed bool
@@ -134,6 +154,25 @@ func NewDataset(al *Alignment, o DatasetOptions) (*Dataset, error) {
 		ds.pool, err = parallel.NewPool(o.Threads)
 		if err != nil {
 			return nil, err
+		}
+	}
+	if o.Metrics != nil || o.Trace != nil {
+		reg := o.Metrics
+		if reg == nil {
+			// Trace-only: spans still flow through a collector, just into a
+			// private registry nobody scrapes.
+			reg = NewMetricsRegistry()
+		}
+		kind := "sequential"
+		switch {
+		case o.VirtualThreads:
+			kind = "sim"
+		case ds.pool != nil:
+			kind = "pool"
+		}
+		ds.collector = parallel.NewMetricsCollector(reg, kind, sh.Backend.String(), o.Threads, o.Trace)
+		if ds.pool != nil {
+			ds.pool.SetObserver(ds.collector)
 		}
 	}
 	return ds, nil
@@ -220,3 +259,11 @@ func (ds *Dataset) MemoryFootprint() int64 {
 func (ds *Dataset) MemoryBreakdown() MemoryFootprint {
 	return ds.shared.MemoryFootprint()
 }
+
+// Metrics returns the registry this dataset reports into, or nil when the
+// dataset was built without DatasetOptions.Metrics.
+func (ds *Dataset) Metrics() *MetricsRegistry { return ds.opts.Metrics }
+
+// Trace returns the trace buffer this dataset records region spans into, or
+// nil when the dataset was built without DatasetOptions.Trace.
+func (ds *Dataset) Trace() *Tracer { return ds.opts.Trace }

@@ -176,7 +176,7 @@ func TestMicrobenchSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("microbench iterates testing.Benchmark; skipped in -short")
 	}
-	rep, err := Microbench(context.Background(), []int{1}, 0.002, 7)
+	rep, err := Microbench(context.Background(), []int{1}, 0.002, 7, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestMicrobenchSmoke(t *testing.T) {
 	if comp.LnLMaxAbsDiff > 1e-6 {
 		t.Errorf("schedule comparison likelihoods diverged: %+v", comp)
 	}
-	if _, err := Microbench(context.Background(), []int{0}, 0.002, 7); err == nil {
+	if _, err := Microbench(context.Background(), []int{0}, 0.002, 7, nil); err == nil {
 		t.Error("expected error for zero thread count")
 	}
 }

@@ -247,7 +247,7 @@ func TestTipCaseSpeedupRecorded(t *testing.T) {
 	if testing.Short() {
 		t.Skip("microbenchmark run in -short mode")
 	}
-	rep, err := Microbench(context.Background(), []int{1}, 0.01, 42)
+	rep, err := Microbench(context.Background(), []int{1}, 0.01, 42, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,11 +9,35 @@ import (
 	"phylo/internal/alignment"
 	"phylo/internal/core"
 	"phylo/internal/model"
+	"phylo/internal/obs"
 	"phylo/internal/parallel"
 	"phylo/internal/schedule"
 	"phylo/internal/seqsim"
 	"phylo/internal/tree"
 )
+
+// MicrobenchObs optionally attaches observability to the kernel timing loop:
+// the pool of each thread count reports region/worker/kernel families into
+// Metrics and (when set) per-worker spans into Tracer. nil (or a nil-field
+// struct) measures bare — the two are interchangeable by construction, since
+// the flush-at-region-boundary collector adds no hot-path work; the CI
+// allocs gate (core.TestMetricsZeroAllocsOnNewviewRegion) pins that claim.
+type MicrobenchObs struct {
+	Metrics *obs.Registry
+	Tracer  *obs.Tracer
+}
+
+// collector resolves the attachment to one RegionObserver (nil = none).
+func (o *MicrobenchObs) collector(backend string, threads int) parallel.RegionObserver {
+	if o == nil || (o.Metrics == nil && o.Tracer == nil) {
+		return nil
+	}
+	reg := o.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return parallel.NewMetricsCollector(reg, "pool", backend, threads, o.Tracer)
+}
 
 // KernelTiming is the measured ns/op of the two hot kernels at one thread
 // count: one full evaluate region at the canonical root, and one full
@@ -125,8 +149,9 @@ type StealMicrobench struct {
 // is reused across sessions per thread count, exactly as the public
 // Dataset/Analysis API does. Uses testing.Benchmark, so each timing is
 // iterated until statistically stable. Cancelling ctx stops the run between
-// sections (each individual timing is short); the error is ctx's.
-func Microbench(ctx context.Context, threadCounts []int, scale float64, seed int64) (*MicrobenchReport, error) {
+// sections (each individual timing is short); the error is ctx's. o attaches
+// optional observability to the timing loop (nil = bare).
+func Microbench(ctx context.Context, threadCounts []int, scale float64, seed int64, o *MicrobenchObs) (*MicrobenchReport, error) {
 	ds, err := seqsim.GridDataset(20, 20000, 1000, scale, seed)
 	if err != nil {
 		return nil, err
@@ -178,6 +203,9 @@ func Microbench(ctx context.Context, threadCounts []int, scale float64, seed int
 			return nil, err
 		}
 		rep.Backend = eng.Backend().String()
+		if c := o.collector(rep.Backend, t); c != nil {
+			pool.SetObserver(c)
+		}
 		root := eng.Tree.Tips[0].Back
 		eng.Traverse(root, false, nil) // warm the CLVs once
 		evalRes := testing.Benchmark(func(b *testing.B) {

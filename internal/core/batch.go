@@ -330,6 +330,9 @@ func (e *Engine) LogLikelihoodBatch(ws *WeightSet) ([]float64, error) {
 	if err := e.checkBatch(ws); err != nil {
 		return nil, err
 	}
+	if e.obsBatchWidth != nil {
+		e.obsBatchWidth.Set(float64(ws.r))
+	}
 	root := e.Tree.Tips[0].Back
 	e.Traverse(root, false, nil)
 	return e.EvaluateBatch(root, nil, ws)

@@ -79,9 +79,17 @@ func (e *Engine) executeStepsSteal(steps []tree.TraversalStep, act []bool) {
 				if ch.Span != cached {
 					e.prepareNewviewSpan(&c, steps[si], ch.Span, w, pmQ, pmR)
 					cached = ch.Span
+					c.noteSpan(ctx)
 				}
 				c.ensureTables(ch.Patterns())
-				ops += c.takeOps(c.process(ch.Run()))
+				count := c.process(ch.Run())
+				ops += c.takeOps(count)
+				// Flush the chunk's observability scratch (per chunk, never per
+				// pattern; prepareNewviewSpan resets c, so scaled cannot be
+				// left to accumulate across span switches).
+				ctx.Patterns += float64(count)
+				ctx.Scalings += c.scaled
+				c.scaled = 0
 				if e.measure {
 					e.chargeChunk(w, ch.Span, ch.Patterns(), t0)
 				}

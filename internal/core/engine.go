@@ -26,6 +26,7 @@ import (
 
 	"phylo/internal/alignment"
 	"phylo/internal/model"
+	"phylo/internal/obs"
 	"phylo/internal/parallel"
 	"phylo/internal/schedule"
 	"phylo/internal/steal"
@@ -122,6 +123,17 @@ type Engine struct {
 	// smallScratch is the fused backend's per-worker scaling-flag scratch
 	// (one bool per pattern of the widest partition); nil on other backends.
 	smallScratch [][]bool
+
+	// Observability handles (nil unless Options.Metrics): engine-level
+	// counters updated between regions — rebalance count, measured/predicted
+	// imbalance around each rebalance, live batch width. Region- and
+	// kernel-level families are folded by the executor's RegionObserver, not
+	// here.
+	obsRebalances *obs.Counter
+	obsImbBefore  *obs.Gauge
+	obsImbAfter   *obs.Gauge
+	obsBatchWidth *obs.Gauge
+	tracer        *obs.Tracer
 }
 
 // Options configures engine construction.
@@ -149,6 +161,14 @@ type Options struct {
 	// MinChunk is the minimum stealable chunk size in patterns (0 selects
 	// steal.DefaultMinChunk). Only meaningful with Steal.
 	MinChunk int
+	// Metrics, when non-nil, receives the engine-level observability
+	// families (rebalances, rebalance imbalance before/after, batch width).
+	// Region/kernel/steal families come from the executor's RegionObserver,
+	// which the facade attaches to the same registry.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives engine lifecycle instants (rebalance
+	// swaps); per-worker region spans come from the RegionObserver.
+	Tracer *obs.Tracer
 }
 
 // New builds a standalone engine: session-independent state is computed on
@@ -234,6 +254,20 @@ func NewSession(sh *Shared, tr *tree.Tree, models []*model.Model, exec parallel.
 		numCats:        sh.NumCats,
 		maxS:           sh.maxS,
 		layout:         sh.layout,
+		tracer:         opts.Tracer,
+	}
+	if opts.Metrics != nil {
+		reg := opts.Metrics
+		e.obsRebalances = reg.Counter("plk_rebalances_total",
+			"Measured-strategy schedule rebuilds performed.")
+		e.obsImbBefore = reg.Gauge("plk_rebalance_imbalance",
+			"Worker-time imbalance around the most recent rebalance: measured max/avg before, predicted pack imbalance after.",
+			obs.Label{Key: "phase", Value: "before"})
+		e.obsImbAfter = reg.Gauge("plk_rebalance_imbalance",
+			"Worker-time imbalance around the most recent rebalance: measured max/avg before, predicted pack imbalance after.",
+			obs.Label{Key: "phase", Value: "after"})
+		e.obsBatchWidth = reg.Gauge("plk_batch_width",
+			"Replicate lanes (R) of the most recent batched likelihood evaluation.")
 	}
 	e.kernels = make([]KernelBackend, len(data.Parts))
 	for ip, p := range data.Parts {
@@ -519,6 +553,7 @@ func (e *Engine) RebalanceNow() error {
 	if !e.measure {
 		return errors.New("core: RebalanceNow on a session without the measured schedule strategy")
 	}
+	before := e.MeasuredImbalance()
 	e.smoothed = e.smoothed.MergeEWMA(e.ObservedCosts(), DefaultCostDecay)
 	if _, err := e.shared.RebalanceMeasured(e.smoothed); err != nil {
 		return err
@@ -526,6 +561,15 @@ func (e *Engine) RebalanceNow() error {
 	e.refreshSchedule()
 	e.ResetMeasurements()
 	e.rebalances++
+	after := e.sched.Imbalance()
+	if e.obsRebalances != nil {
+		e.obsRebalances.Inc()
+		e.obsImbBefore.Set(before)
+		e.obsImbAfter.Set(after)
+	}
+	e.tracer.Instant("rebalance", "schedule", -1,
+		obs.Arg{Key: "imbalance_before", Value: before},
+		obs.Arg{Key: "imbalance_after", Value: after})
 	return nil
 }
 

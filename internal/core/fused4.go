@@ -175,6 +175,7 @@ func (c *nvSpanCtx) processFused4(run schedule.Run) int {
 				d[3] *= twoTo256
 			}
 			sc++
+			c.scaled++
 		}
 		c.dstScale[i] = sc
 		count++

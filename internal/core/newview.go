@@ -61,7 +61,7 @@ func (e *Engine) ExecuteSteps(steps []tree.TraversalStep, active []bool) {
 				if e.measure {
 					t0 = time.Now() //plk:allow(timenow) measured-cost attribution; never feeds likelihood values
 				}
-				ops += e.newviewPartition(st, ip, w, pmQ, pmR)
+				ops += e.newviewPartition(st, ip, w, pmQ, pmR, ctx)
 				if e.measure {
 					e.chargePartition(w, ip, t0)
 				}
@@ -79,7 +79,9 @@ func (e *Engine) ExecuteSteps(steps []tree.TraversalStep, active []bool) {
 // child CLVs and no child scaling vectors at all. All paths produce
 // bit-identical CLVs; the generic path remains reachable via Specialize
 // false (A/B ablation) and for shares too narrow to amortize a table.
-func (e *Engine) newviewPartition(st tree.TraversalStep, ip, w int, pmQ, pmR []float64) float64 {
+// Observability counters (patterns processed, span case, scaling events)
+// flush into ctx here — once per (step, partition), off the pattern loop.
+func (e *Engine) newviewPartition(st tree.TraversalStep, ip, w int, pmQ, pmR []float64, ctx *parallel.WorkerCtx) float64 {
 	runs := e.workRuns(w, ip)
 	if len(runs) == 0 {
 		return 0
@@ -91,6 +93,9 @@ func (e *Engine) newviewPartition(st tree.TraversalStep, ip, w int, pmQ, pmR []f
 	for _, run := range runs {
 		count += c.process(run)
 	}
+	c.noteSpan(ctx)
+	ctx.Patterns += float64(count)
+	ctx.Scalings += c.scaled
 	return c.takeOps(count)
 }
 
@@ -123,6 +128,20 @@ type nvSpanCtx struct {
 	tabQ, tabR []float64
 	kern       KernelBackend
 	fixed      float64 // setup ops not yet claimed by takeOps
+	scaled     float64 // scaling events since prepare (flushed to WorkerCtx)
+}
+
+// noteSpan tallies this span's child case into the worker's observability
+// scratch — called once per span encounter, never per pattern.
+func (c *nvSpanCtx) noteSpan(ctx *parallel.WorkerCtx) {
+	switch {
+	case c.qTip && c.rTip:
+		ctx.SpanTipTip++
+	case c.qTip || c.rTip:
+		ctx.SpanTipInner++
+	default:
+		ctx.SpanInner++
+	}
 }
 
 // prepareNewviewSpan binds c to (step, partition, worker): it computes both
@@ -332,6 +351,7 @@ outer:
 			}
 		}
 		sc++
+		c.scaled++
 	}
 	c.dstScale[i] = sc
 }

@@ -92,6 +92,12 @@ func (r Region) String() string {
 // cache lines (and the adjacent-line hardware prefetcher couples line pairs
 // anyway), so two cache lines per entry is the safe spacing. A compile-time
 // and unit-time check pin the size.
+// The Patterns/Scalings/Span*/StealRaces fields are observability scratch:
+// kernels and the steal runtime bump them with plain field increments (legal
+// under //plk:hotpath — no allocation, no atomics, no shared cache lines) and
+// a RegionObserver folds them into the metrics registry master-side after the
+// barrier. This flush-at-region-boundary pattern is what keeps metrics
+// always-on without touching per-pattern cost.
 type WorkerCtx struct {
 	Worker         int
 	Ops            float64
@@ -99,8 +105,30 @@ type WorkerCtx struct {
 	Steals         float64  // steal operations performed by this worker this region
 	StolenPatterns float64  // patterns executed for another worker's assignment
 	Idle           float64  // in-region synchronization wait, excluded from Seconds
+	Patterns       float64  // alignment patterns processed (newview spans)
+	Scalings       float64  // numerical scaling events (CLV underflow rescues)
+	SpanTipTip     float64  // newview spans with two tip children
+	SpanTipInner   float64  // newview spans with one tip child
+	SpanInner      float64  // newview spans with two inner children
+	StealRaces     float64  // failed CAS races in the steal deques (retried)
 	Concurrent     bool     // workers run on real goroutines (see type comment)
-	_              [79]byte // pad to two cache lines (see type comment)
+	_              [31]byte // pad to two cache lines (see type comment)
+}
+
+// beginRegion resets the per-region scratch (everything except Worker, which
+// is fixed at construction) ahead of a region closure.
+func (c *WorkerCtx) beginRegion(concurrent bool) {
+	c.Ops = 0
+	c.Steals = 0
+	c.StolenPatterns = 0
+	c.Idle = 0
+	c.Patterns = 0
+	c.Scalings = 0
+	c.SpanTipTip = 0
+	c.SpanTipInner = 0
+	c.SpanInner = 0
+	c.StealRaces = 0
+	c.Concurrent = concurrent
 }
 
 // workSeconds returns the worker's measured in-region seconds net of
@@ -111,6 +139,26 @@ func (c *WorkerCtx) workSeconds() float64 {
 		return 0
 	}
 	return s
+}
+
+// RegionObserver receives one callback per completed parallel region,
+// master-side after the barrier, with the region's start time, wall-clock
+// duration, and every worker's WorkerCtx scratch (still holding this region's
+// counters). Implementations must not retain ctxs past the call and must not
+// block: the callback runs inside the executor's region critical section.
+// MetricsCollector (observe.go) is the canonical implementation.
+type RegionObserver interface {
+	ObserveRegion(kind Region, start time.Time, wall float64, ctxs []WorkerCtx)
+}
+
+// ObservableExecutor is implemented by executors that can report region
+// completions to a RegionObserver. All executors in this package implement
+// it; the interface exists so callers can attach observers without knowing
+// the concrete type.
+type ObservableExecutor interface {
+	// SetObserver installs the observer (nil detaches). Not safe to call
+	// concurrently with Run.
+	SetObserver(RegionObserver)
 }
 
 // Executor runs parallel regions over a fixed set of workers.
@@ -128,12 +176,13 @@ type Executor interface {
 
 // Sequential is the single-worker executor.
 type Sequential struct {
-	ctx    WorkerCtx
+	ctxs   [1]WorkerCtx
 	stats  Stats
 	ops    [1]float64
 	times  [1]float64
 	steals [1]float64
 	stolen [1]float64
+	obs    RegionObserver
 }
 
 // NewSequential returns a sequential executor.
@@ -142,21 +191,26 @@ func NewSequential() *Sequential { return &Sequential{} }
 // Threads returns 1.
 func (s *Sequential) Threads() int { return 1 }
 
+// SetObserver installs a region observer (nil detaches). Not safe to call
+// concurrently with Run.
+func (s *Sequential) SetObserver(o RegionObserver) { s.obs = o }
+
 // Run executes fn for the single worker, timing it like the pool does.
 func (s *Sequential) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
-	s.ctx.Ops = 0
-	s.ctx.Steals = 0
-	s.ctx.StolenPatterns = 0
-	s.ctx.Idle = 0
-	s.ctx.Concurrent = false
+	ctx := &s.ctxs[0]
+	ctx.beginRegion(false)
 	start := time.Now()
-	fn(0, &s.ctx)
-	s.ctx.Seconds = time.Since(start).Seconds()
-	s.ops[0] = s.ctx.Ops
-	s.times[0] = s.ctx.workSeconds()
-	s.steals[0] = s.ctx.Steals
-	s.stolen[0] = s.ctx.StolenPatterns
+	fn(0, ctx)
+	wall := time.Since(start).Seconds()
+	ctx.Seconds = wall
+	s.ops[0] = ctx.Ops
+	s.times[0] = ctx.workSeconds()
+	s.steals[0] = ctx.Steals
+	s.stolen[0] = ctx.StolenPatterns
 	s.stats.record(kind, s.ops[:], s.times[:], s.steals[:], s.stolen[:])
+	if s.obs != nil {
+		s.obs.ObserveRegion(kind, start, wall, s.ctxs[:])
+	}
 }
 
 // Stats returns the accumulated statistics.

@@ -1,0 +1,150 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"phylo/internal/obs"
+)
+
+// TestStatsImbalanceEdgeCases pins the degenerate inputs of the imbalance
+// metrics: no workers recorded, zero elapsed time, and a single-worker pool
+// must all report exactly 1.0 (perfect balance) rather than dividing by zero.
+func TestStatsImbalanceEdgeCases(t *testing.T) {
+	t.Run("zero workers", func(t *testing.T) {
+		var s Stats
+		if got := s.WorkerImbalance(); got != 1 {
+			t.Errorf("WorkerImbalance() on empty stats = %v, want 1", got)
+		}
+		if got := s.TimeImbalance(); got != 1 {
+			t.Errorf("TimeImbalance() on empty stats = %v, want 1", got)
+		}
+		if got := s.Imbalance(0); got != 1 {
+			t.Errorf("Imbalance(0) = %v, want 1", got)
+		}
+		if got := s.Imbalance(4); got != 1 {
+			t.Errorf("Imbalance(4) on empty stats = %v, want 1", got)
+		}
+	})
+	t.Run("zero elapsed time", func(t *testing.T) {
+		var s Stats
+		// A region whose workers all measured exactly zero seconds (possible
+		// on a coarse clock) must not yield NaN from 0/0.
+		s.record(RegionNewview, []float64{10, 20}, []float64{0, 0}, nil, nil)
+		if got := s.TimeImbalance(); got != 1 {
+			t.Errorf("TimeImbalance() with all-zero times = %v, want 1", got)
+		}
+		if got := s.WorkerImbalance(); got != 2.0/1.5 {
+			t.Errorf("WorkerImbalance() = %v, want %v", got, 2.0/1.5)
+		}
+	})
+	t.Run("single worker", func(t *testing.T) {
+		seq := NewSequential()
+		seq.Run(RegionNewview, func(w int, ctx *WorkerCtx) { ctx.Ops += 128 })
+		s := seq.Stats()
+		if got := s.WorkerImbalance(); got != 1 {
+			t.Errorf("single-worker WorkerImbalance() = %v, want 1", got)
+		}
+		if got := s.TimeImbalance(); got != 1 {
+			t.Errorf("single-worker TimeImbalance() = %v, want 1", got)
+		}
+		if got := s.Imbalance(1); got != 1 {
+			t.Errorf("single-worker Imbalance(1) = %v, want 1", got)
+		}
+	})
+}
+
+// TestMetricsCollectorFoldsRegions runs regions on every executor kind with a
+// collector attached and checks the registry totals match the WorkerCtx
+// scratch the closures wrote.
+func TestMetricsCollectorFoldsRegions(t *testing.T) {
+	pool, err := NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	sim, err := NewSim(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, exec := range map[string]Executor{
+		"sequential": NewSequential(),
+		"pool":       pool,
+		"sim":        sim,
+	} {
+		t.Run(name, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			tr := obs.NewTracer(64)
+			oe, ok := exec.(ObservableExecutor)
+			if !ok {
+				t.Fatalf("%T does not implement ObservableExecutor", exec)
+			}
+			oe.SetObserver(NewMetricsCollector(reg, name, "fused4", exec.Threads(), tr))
+			exec.Run(RegionNewview, func(w int, ctx *WorkerCtx) {
+				ctx.Ops += 100
+				ctx.Patterns += 32
+				ctx.SpanTipTip += 2
+				ctx.Scalings++
+			})
+			exec.Run(RegionEvaluate, func(w int, ctx *WorkerCtx) { ctx.Ops += 10 })
+			oe.SetObserver(nil)
+
+			want := map[string]float64{
+				"plk_regions_total|kind=newview|exec=" + name:  1,
+				"plk_regions_total|kind=evaluate|exec=" + name: 1,
+				"plk_kernel_patterns_total|backend=fused4":     32 * float64(exec.Threads()),
+				"plk_kernel_spans_total|case=tip-tip|backend=fused4": 2 *
+					float64(exec.Threads()),
+				"plk_scaling_events_total|backend=fused4": float64(exec.Threads()),
+			}
+			got := map[string]float64{}
+			for _, s := range reg.Snapshot() {
+				key := s.Name
+				for _, l := range s.Labels {
+					key += "|" + l.Key + "=" + l.Value
+				}
+				got[key] = s.Value
+			}
+			for key, w := range want {
+				if got[key] != w {
+					t.Errorf("%s = %v, want %v", key, got[key], w)
+				}
+			}
+			// Trace: one span per worker per region.
+			if tr.Len() != 2*exec.Threads() {
+				t.Errorf("trace events = %d, want %d", tr.Len(), 2*exec.Threads())
+			}
+			var b strings.Builder
+			if err := reg.WriteText(&b); err != nil {
+				t.Fatal(err)
+			}
+			for _, fam := range []string{"plk_region_seconds", "plk_worker_busy_seconds_total", "plk_steals_total"} {
+				if !strings.Contains(b.String(), fam) {
+					t.Errorf("exposition missing family %s", fam)
+				}
+			}
+		})
+	}
+}
+
+// TestObserveRegionAllocFree pins the flush path itself: folding a region
+// into the registry must not allocate (it runs inside the executor's region
+// critical section, metrics always-on).
+func TestObserveRegionAllocFree(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewMetricsCollector(reg, "pool", "fused4", 4, nil)
+	ctxs := make([]WorkerCtx, 4)
+	for w := range ctxs {
+		ctxs[w].Worker = w
+		ctxs[w].Ops = 100
+		ctxs[w].Seconds = 0.01
+		ctxs[w].Patterns = 8
+	}
+	start := time.Now()
+	if n := testing.AllocsPerRun(500, func() {
+		c.ObserveRegion(RegionNewview, start, 0.01, ctxs)
+	}); n != 0 {
+		t.Fatalf("ObserveRegion allocates %v allocs/op, want 0", n)
+	}
+}

@@ -27,9 +27,10 @@ type Pool struct {
 	steals  []float64 // master-side per-region steal-count scratch
 	stolen  []float64 // master-side per-region stolen-pattern scratch
 
-	runMu  sync.Mutex // serializes regions across sessions
-	stats  Stats      // aggregate across all sessions (guarded by runMu)
-	closed bool       // guarded by runMu
+	runMu  sync.Mutex     // serializes regions across sessions
+	stats  Stats          // aggregate across all sessions (guarded by runMu)
+	obs    RegionObserver // region-completion observer (guarded by runMu)
+	closed bool           // guarded by runMu
 }
 
 // NewPool starts a pool with the given worker count.
@@ -61,6 +62,15 @@ func NewPool(threads int) (*Pool, error) {
 // Threads returns the worker count.
 func (p *Pool) Threads() int { return p.threads }
 
+// SetObserver installs a region observer (nil detaches). The observer is
+// invoked master-side after each region's barrier, under the same mutex that
+// serializes regions, so implementations must be fast and non-blocking.
+func (p *Pool) SetObserver(o RegionObserver) {
+	p.runMu.Lock()
+	p.obs = o
+	p.runMu.Unlock()
+}
+
 // Run fans fn out to every worker and blocks until all complete, recording
 // into the pool's aggregate statistics. Running on a closed pool is a
 // programming error and panics (session views degrade instead; see
@@ -81,15 +91,12 @@ func (p *Pool) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
 // the durations into the time scratch after the barrier, next to the op
 // scratch. The caller must hold runMu and have checked closed.
 func (p *Pool) run(kind Region, fn func(w int, ctx *WorkerCtx), extra *Stats) {
+	regionStart := time.Now()
 	p.wg.Add(p.threads)
 	for w := 0; w < p.threads; w++ {
 		w := w
 		ctx := &p.ctxs[w]
-		ctx.Ops = 0
-		ctx.Steals = 0
-		ctx.StolenPatterns = 0
-		ctx.Idle = 0
-		ctx.Concurrent = true
+		ctx.beginRegion(true)
 		p.cmds[w] <- func() {
 			start := time.Now()
 			fn(w, ctx)
@@ -111,6 +118,9 @@ func (p *Pool) run(kind Region, fn func(w int, ctx *WorkerCtx), extra *Stats) {
 		p.stolen[w] = p.ctxs[w].StolenPatterns
 	}
 	p.record(kind, extra)
+	if p.obs != nil {
+		p.obs.ObserveRegion(kind, regionStart, time.Since(regionStart).Seconds(), p.ctxs)
+	}
 }
 
 // runDegraded executes one region with all T virtual workers serially on
@@ -118,13 +128,10 @@ func (p *Pool) run(kind Region, fn func(w int, ctx *WorkerCtx), extra *Stats) {
 // worker's serial execution is timed individually. The caller must hold
 // runMu.
 func (p *Pool) runDegraded(kind Region, fn func(w int, ctx *WorkerCtx), extra *Stats) {
+	regionStart := time.Now()
 	for w := 0; w < p.threads; w++ {
 		ctx := &p.ctxs[w]
-		ctx.Ops = 0
-		ctx.Steals = 0
-		ctx.StolenPatterns = 0
-		ctx.Idle = 0
-		ctx.Concurrent = false
+		ctx.beginRegion(false)
 		start := time.Now()
 		fn(w, ctx)
 		ctx.Seconds = time.Since(start).Seconds()
@@ -134,6 +141,9 @@ func (p *Pool) runDegraded(kind Region, fn func(w int, ctx *WorkerCtx), extra *S
 		p.stolen[w] = ctx.StolenPatterns
 	}
 	p.record(kind, extra)
+	if p.obs != nil {
+		p.obs.ObserveRegion(kind, regionStart, time.Since(regionStart).Seconds(), p.ctxs)
+	}
 }
 
 // record folds the per-worker op and time scratch into the aggregate (and

@@ -13,12 +13,13 @@ import "time"
 // Platform.EvalSeconds.
 type Sim struct {
 	threads int
-	ctx     WorkerCtx
+	ctxs    []WorkerCtx
 	ops     []float64 // per-region op scratch
 	times   []float64 // per-region wall-time scratch (seconds)
 	steals  []float64 // per-region steal-count scratch
 	stolen  []float64 // per-region stolen-pattern scratch
 	stats   Stats
+	obs     RegionObserver
 }
 
 // NewSim returns a virtual executor with T workers.
@@ -26,13 +27,18 @@ func NewSim(threads int) (*Sim, error) {
 	if threads < 1 {
 		return nil, errBadThreads(threads)
 	}
-	return &Sim{
+	s := &Sim{
 		threads: threads,
+		ctxs:    make([]WorkerCtx, threads),
 		ops:     make([]float64, threads),
 		times:   make([]float64, threads),
 		steals:  make([]float64, threads),
 		stolen:  make([]float64, threads),
-	}, nil
+	}
+	for w := range s.ctxs {
+		s.ctxs[w].Worker = w
+	}
+	return s, nil
 }
 
 func errBadThreads(t int) error {
@@ -48,6 +54,10 @@ func (e *badThreadsError) Error() string {
 // Threads returns the virtual worker count.
 func (s *Sim) Threads() int { return s.threads }
 
+// SetObserver installs a region observer (nil detaches). Not safe to call
+// concurrently with Run.
+func (s *Sim) SetObserver(o RegionObserver) { s.obs = o }
+
 // Run executes fn serially for every virtual worker. Workers whose schedule
 // assignment is empty for this region record exactly zero ops (their Ops is
 // reset before fn runs and nothing adds to it), so the virtual clock and the
@@ -57,22 +67,22 @@ func (s *Sim) Threads() int { return s.threads }
 // share's real cost on this host — the feedback the measured schedule
 // strategy consumes.
 func (s *Sim) Run(kind Region, fn func(w int, ctx *WorkerCtx)) {
+	regionStart := time.Now()
 	for w := 0; w < s.threads; w++ {
-		s.ctx.Worker = w
-		s.ctx.Ops = 0
-		s.ctx.Steals = 0
-		s.ctx.StolenPatterns = 0
-		s.ctx.Idle = 0
-		s.ctx.Concurrent = false
+		ctx := &s.ctxs[w]
+		ctx.beginRegion(false)
 		start := time.Now()
-		fn(w, &s.ctx)
-		s.ctx.Seconds = time.Since(start).Seconds()
-		s.times[w] = s.ctx.workSeconds()
-		s.ops[w] = s.ctx.Ops
-		s.steals[w] = s.ctx.Steals
-		s.stolen[w] = s.ctx.StolenPatterns
+		fn(w, ctx)
+		ctx.Seconds = time.Since(start).Seconds()
+		s.times[w] = ctx.workSeconds()
+		s.ops[w] = ctx.Ops
+		s.steals[w] = ctx.Steals
+		s.stolen[w] = ctx.StolenPatterns
 	}
 	s.stats.record(kind, s.ops, s.times, s.steals, s.stolen)
+	if s.obs != nil {
+		s.obs.ObserveRegion(kind, regionStart, time.Since(regionStart).Seconds(), s.ctxs)
+	}
 }
 
 // Stats returns accumulated instrumentation.

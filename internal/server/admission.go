@@ -194,6 +194,18 @@ func (a *Admission) Stats() AdmissionStats {
 	return st
 }
 
+// QueueDepth reports the number of waiters currently parked across all
+// tenants — the admission backlog the /metrics gauge exposes.
+func (a *Admission) QueueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, t := range a.tenants {
+		n += len(t.waiters)
+	}
+	return n
+}
+
 // Peak returns the tenant's high-water in-flight mark (0 for a tenant that
 // never ran). Tests use it to prove the quota bound held.
 func (a *Admission) Peak(tenant string) int {

@@ -146,3 +146,29 @@ func (h *eventHub) Dropped() int64 {
 	}
 	return n
 }
+
+// HubDropStats breaks one hub's shed events down by level: ring-history
+// drops (events that aged out of the replay buffer) versus per-subscriber
+// backpressure drops (a slow SSE client whose channel overflowed), plus the
+// attached-subscriber count. DroppedTotal is their sum — the same figure
+// Dropped reports. Exposed per analysis in /v1/stats.
+type HubDropStats struct {
+	DroppedTotal      int64 `json:"dropped_total"`
+	RingDropped       int64 `json:"ring_dropped"`
+	SubscriberDropped int64 `json:"subscriber_dropped"`
+	Subscribers       int   `json:"subscribers"`
+}
+
+// DropStats snapshots the hub's drop accounting. Subscriber drops cover the
+// currently attached streams (a cancelled subscriber takes its count with
+// it, exactly as in Dropped).
+func (h *eventHub) DropStats() HubDropStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := HubDropStats{RingDropped: h.dropped, Subscribers: len(h.subs)}
+	for s := range h.subs {
+		st.SubscriberDropped += s.dropped
+	}
+	st.DroppedTotal = st.RingDropped + st.SubscriberDropped
+	return st
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"phylo/internal/obs"
+)
+
+// Daemon observability. The server owns one obs.Registry covering two layers
+// in a single /metrics scrape:
+//
+//   - serving-layer families registered here, mostly func-backed: they read
+//     the authoritative counters the daemon already keeps (cache stats,
+//     admission gate, single-flight group, kernel-run counter, event hubs)
+//     at scrape time, so there is no double accounting and nothing to keep
+//     in sync;
+//   - kernel/runtime families (plk_regions_total, plk_kernel_*,
+//     plk_steals_total, ...) that appear because the same registry is passed
+//     into every dataset via phylo.DatasetOptions.Metrics — the
+//     flush-at-region-boundary collector reports into it.
+//
+// HTTP latency/count families are fed by the instrument middleware wrapped
+// around every /v1 route.
+
+// httpLatencyBuckets spans fast JSON endpoints to multi-second analyses
+// submissions and long-polled scrapes.
+var httpLatencyBuckets = []float64{
+	1e-4, 5e-4, 1e-3, 5e-3, 0.025, 0.1, 0.5, 2.5, 10, 60,
+}
+
+// registerMetrics installs the serving-layer families on s.metrics. Called
+// once from New, after the cache/admission/job state exists.
+func (s *Server) registerMetrics() {
+	reg := s.metrics
+	reg.CounterFunc("plk_cache_hits_total",
+		"Dataset cache digest hits (build skipped).",
+		func() float64 { return float64(s.cache.Stats().Hits) })
+	reg.CounterFunc("plk_cache_misses_total",
+		"Dataset cache misses (full dataset build ran).",
+		func() float64 { return float64(s.cache.Stats().Misses) })
+	reg.CounterFunc("plk_cache_evictions_total",
+		"Datasets evicted from the cache to meet the byte budget.",
+		func() float64 { return float64(s.cache.Stats().Evictions) })
+	reg.GaugeFunc("plk_cache_entries",
+		"Datasets currently resident in the cache.",
+		func() float64 { return float64(s.cache.Stats().Entries) })
+	reg.GaugeFunc("plk_cache_bytes",
+		"Estimated heap bytes of the resident datasets.",
+		func() float64 { return float64(s.cache.Stats().Bytes) })
+	reg.CounterFunc("plk_admission_admitted_total",
+		"Work items admitted past the per-tenant quota gate.",
+		func() float64 { return float64(s.adm.Stats().Admitted) })
+	reg.CounterFunc("plk_admission_rejected_total",
+		"Work items rejected with 429 (quota and queue both full).",
+		func() float64 { return float64(s.adm.Stats().Rejected) })
+	reg.GaugeFunc("plk_admission_queue_depth",
+		"Waiters currently parked in tenant admission queues.",
+		func() float64 { return float64(s.adm.QueueDepth()) })
+	reg.CounterFunc("plk_coalesce_executed_total",
+		"Evaluate computations actually executed by the single-flight group.",
+		func() float64 { p, _ := s.flights.Counters(); return float64(p) })
+	reg.CounterFunc("plk_coalesce_joined_total",
+		"Evaluate requests that joined an in-flight identical computation.",
+		func() float64 { _, c := s.flights.Counters(); return float64(c) })
+	reg.CounterFunc("plk_kernel_runs_total",
+		"Evaluate kernel executions performed (coalesced duplicates share one).",
+		func() float64 { return float64(s.kernelRuns.Load()) })
+	reg.CounterFunc("plk_sse_dropped_events_total",
+		"Progress events shed by bounded event hubs (ring aging plus slow-subscriber backpressure), summed over tracked analyses.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			var n int64
+			for _, j := range s.jobs {
+				n += j.hub.Dropped()
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("plk_analyses_active",
+		"Analyses currently queued or running.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, j := range s.jobs {
+				if st, _ := j.snapshot(); st == jobRunning || st == jobQueued {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("plk_draining",
+		"1 while the daemon drains, 0 otherwise.",
+		func() float64 {
+			if s.isDraining() {
+				return 1
+			}
+			return 0
+		})
+}
+
+// statusWriter captures the response status for the request counter while
+// forwarding everything else — including Flush, which the SSE endpoint
+// requires — to the wrapped ResponseWriter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the first explicit status.
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying Flusher so instrumented SSE streams keep
+// streaming (no-op when the transport cannot flush).
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps one route with the request latency histogram and the
+// per-status request counter. The endpoint label is the route pattern, so
+// cardinality is fixed by the route table, never by request paths.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	el := obs.Label{Key: "endpoint", Value: endpoint}
+	lat := s.metrics.Histogram("plk_http_request_seconds",
+		"HTTP request latency by endpoint (SSE streams count their full connection lifetime).",
+		httpLatencyBuckets, el)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		lat.Observe(time.Since(start).Seconds())
+		s.metrics.Counter("plk_http_requests_total",
+			"HTTP requests served, by endpoint and status code.",
+			el, obs.Label{Key: "code", Value: strconv.Itoa(sw.code)}).Inc()
+	}
+}
+
+// registerPprof mounts the net/http/pprof handlers on the daemon's own mux
+// (gated by Config.EnablePprof; the default-mux side effect of importing the
+// package is irrelevant because plkd serves this mux, not the default one).
+func registerPprof(m *http.ServeMux) {
+	m.HandleFunc("/debug/pprof/", pprof.Index)
+	m.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	m.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	m.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	m.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -29,8 +29,14 @@
 //	GET    /v1/analyses/{id}       analysis status/result
 //	GET    /v1/analyses/{id}/events  progress stream (SSE)
 //	POST   /v1/analyses/{id}/cancel  cancel at the next region boundary
-//	GET    /v1/stats               cache/admission/coalescing telemetry
+//	GET    /v1/stats               cache/admission/coalescing/event telemetry
 //	GET    /v1/healthz             200 ok, 503 while draining
+//	GET    /metrics                Prometheus text exposition (plain text)
+//
+// Every dataset reports its kernel/region/steal metric families into the
+// daemon's registry, so one /metrics scrape covers the serving layer and the
+// likelihood runtime underneath it. Config.EnablePprof additionally mounts
+// net/http/pprof under /debug/pprof/.
 //
 // Tenancy is declared with the X-Tenant request header (default "default").
 package server
@@ -49,6 +55,7 @@ import (
 	"sync/atomic"
 
 	"phylo"
+	"phylo/internal/obs"
 )
 
 // Config sizes the daemon. Zero values select the documented defaults.
@@ -79,6 +86,10 @@ type Config struct {
 	EventBuffer int
 	// MaxRequestBytes bounds request bodies (default 64 MiB).
 	MaxRequestBytes int64
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/ on
+	// the daemon mux. Off by default: profiling endpoints are a debugging
+	// surface, opted into per deployment via plkd -pprof.
+	EnablePprof bool
 }
 
 // withDefaults resolves the zero values.
@@ -126,6 +137,7 @@ type Server struct {
 	adm     *Admission
 	flights flightGroup
 	mux     *http.ServeMux
+	metrics *obs.Registry // one scrape covers serving + kernel families
 
 	mu       sync.Mutex
 	draining bool
@@ -149,22 +161,28 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		cache: NewDatasetCache(cfg.CacheBytes),
-		adm:   NewAdmission(cfg.TenantInflight, cfg.TenantQueue),
-		jobs:  make(map[string]*analysisJob),
+		cfg:     cfg,
+		cache:   NewDatasetCache(cfg.CacheBytes),
+		adm:     NewAdmission(cfg.TenantInflight, cfg.TenantQueue),
+		jobs:    make(map[string]*analysisJob),
+		metrics: obs.NewRegistry(),
 	}
+	s.registerMetrics()
 	m := http.NewServeMux()
-	m.HandleFunc("POST /v1/datasets", s.handleSubmitDataset)
-	m.HandleFunc("GET /v1/datasets", s.handleListDatasets)
-	m.HandleFunc("DELETE /v1/datasets/{id}", s.handleDeleteDataset)
-	m.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
-	m.HandleFunc("POST /v1/analyses", s.handleStartAnalysis)
-	m.HandleFunc("GET /v1/analyses/{id}", s.handleGetAnalysis)
-	m.HandleFunc("GET /v1/analyses/{id}/events", s.handleEvents)
-	m.HandleFunc("POST /v1/analyses/{id}/cancel", s.handleCancelAnalysis)
-	m.HandleFunc("GET /v1/stats", s.handleStats)
-	m.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	m.HandleFunc("POST /v1/datasets", s.instrument("/v1/datasets", s.handleSubmitDataset))
+	m.HandleFunc("GET /v1/datasets", s.instrument("/v1/datasets", s.handleListDatasets))
+	m.HandleFunc("DELETE /v1/datasets/{id}", s.instrument("/v1/datasets/{id}", s.handleDeleteDataset))
+	m.HandleFunc("POST /v1/evaluate", s.instrument("/v1/evaluate", s.handleEvaluate))
+	m.HandleFunc("POST /v1/analyses", s.instrument("/v1/analyses", s.handleStartAnalysis))
+	m.HandleFunc("GET /v1/analyses/{id}", s.instrument("/v1/analyses/{id}", s.handleGetAnalysis))
+	m.HandleFunc("GET /v1/analyses/{id}/events", s.instrument("/v1/analyses/{id}/events", s.handleEvents))
+	m.HandleFunc("POST /v1/analyses/{id}/cancel", s.instrument("/v1/analyses/{id}/cancel", s.handleCancelAnalysis))
+	m.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
+	m.HandleFunc("GET /v1/healthz", s.instrument("/v1/healthz", s.handleHealthz))
+	m.Handle("GET /metrics", s.metrics.Handler())
+	if cfg.EnablePprof {
+		registerPprof(m)
+	}
 	s.mux = m
 	return s
 }
@@ -250,6 +268,10 @@ func (s *Server) Admission() *Admission { return s.adm }
 
 // Cache exposes the dataset cache.
 func (s *Server) Cache() *DatasetCache { return s.cache }
+
+// Metrics exposes the daemon's metrics registry (the backing store of
+// GET /metrics); tests and embedders snapshot it directly.
+func (s *Server) Metrics() *obs.Registry { return s.metrics }
 
 // ---- request plumbing ----
 
@@ -418,6 +440,9 @@ func (s *Server) buildDataset(req submitRequest) (*phylo.Dataset, error) {
 		GammaCategories: s.cfg.GammaCategories,
 		Steal:           s.cfg.Steal,
 		Backend:         s.cfg.Backend,
+		// Every dataset reports kernel/region/steal families into the
+		// daemon's registry, so one /metrics scrape covers the whole stack.
+		Metrics: s.metrics,
 	})
 }
 
@@ -472,6 +497,38 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 
 // ---- telemetry endpoints ----
 
+// eventStatsBody is the "events" section of /v1/stats: aggregate drop/gap
+// accounting across every tracked analysis hub, plus a per-hub breakdown for
+// the hubs that actually shed events (bounded by the job table, and in
+// practice by how rarely healthy streams drop).
+type eventStatsBody struct {
+	DroppedTotal      int64                   `json:"dropped_total"`
+	RingDropped       int64                   `json:"ring_dropped"`
+	SubscriberDropped int64                   `json:"subscriber_dropped"`
+	Subscribers       int                     `json:"subscribers"`
+	Hubs              map[string]HubDropStats `json:"hubs,omitempty"`
+}
+
+// eventStatsLocked folds the per-analysis hub drop counters. Caller holds
+// s.mu.
+func (s *Server) eventStatsLocked() eventStatsBody {
+	var body eventStatsBody
+	for id, j := range s.jobs {
+		st := j.hub.DropStats()
+		body.DroppedTotal += st.DroppedTotal
+		body.RingDropped += st.RingDropped
+		body.SubscriberDropped += st.SubscriberDropped
+		body.Subscribers += st.Subscribers
+		if st.DroppedTotal > 0 {
+			if body.Hubs == nil {
+				body.Hubs = make(map[string]HubDropStats)
+			}
+			body.Hubs[id] = st
+		}
+	}
+	return body
+}
+
 // handleStats implements GET /v1/stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	primary, coalesced := s.flights.Counters()
@@ -482,6 +539,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			running++
 		}
 	}
+	events := s.eventStatsLocked()
 	draining := s.draining
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -493,6 +551,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"kernel_runs": s.kernelRuns.Load(),
 		"analyses":    map[string]int{"total": total, "active": running},
+		"events":      events,
 		"draining":    draining,
 		"config": map[string]any{
 			"threads":  s.cfg.Threads,

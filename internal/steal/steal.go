@@ -379,7 +379,7 @@ func (rt *Runtime) Next(w int, ctx *parallel.WorkerCtx) int {
 		return int(id)
 	}
 	for {
-		if id, ok := rt.popBottom(w); ok {
+		if id, ok := rt.popBottom(w, ctx); ok {
 			if c := rt.layout.chunks[id]; c.Owner != w {
 				ctx.StolenPatterns += float64(c.Patterns())
 			}
@@ -394,10 +394,12 @@ func (rt *Runtime) Next(w int, ctx *parallel.WorkerCtx) int {
 	}
 }
 
-// popBottom takes the bottom chunk of worker w's own deque.
+// popBottom takes the bottom chunk of worker w's own deque. A failed CAS
+// (a thief moved the window between the load and the swap) is counted into
+// ctx.StealRaces and retried.
 //
 //plk:hotpath
-func (rt *Runtime) popBottom(w int) (int, bool) {
+func (rt *Runtime) popBottom(w int, ctx *parallel.WorkerCtx) (int, bool) {
 	d := &rt.deques[w]
 	for {
 		old := d.state.Load()
@@ -410,6 +412,7 @@ func (rt *Runtime) popBottom(w int) (int, bool) {
 			d.addRemaining(-rt.layout.chunks[id].Cost)
 			return id, true
 		}
+		ctx.StealRaces++
 	}
 }
 
@@ -460,6 +463,7 @@ func (rt *Runtime) stealHalf(w int, ctx *parallel.WorkerCtx) bool {
 			buf[i] = rt.arrs[victim][top+i].Load()
 		}
 		if !d.state.CompareAndSwap(old, packState(epoch, top+k, bottom)) {
+			ctx.StealRaces++
 			continue // the victim's window moved; rescan
 		}
 		cost := 0.0
